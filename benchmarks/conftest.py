@@ -1,0 +1,39 @@
+"""Shared benchmark fixtures and the result sink.
+
+Every benchmark regenerates one of the paper's evaluation figures at the
+reduced ``FAST_SCALE`` (same code paths as the full-scale harness, smaller
+horizons) and
+
+* prints the figure's rows (run pytest with ``-s`` to see them live), and
+* writes them to ``benchmarks/results/<name>.txt`` for EXPERIMENTS.md.
+
+The ``benchmark`` fixture times a single representative unit of work
+(usually one full simulation point) with ``pedantic(rounds=1)`` — the
+figures themselves are far too heavy to repeat for statistics, and their
+interesting output is the series, not the nanoseconds.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> pathlib.Path:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR
+
+
+@pytest.fixture
+def publish(results_dir):
+    """Print a rendered figure and persist it under benchmarks/results/."""
+
+    def _publish(name: str, text: str) -> None:
+        print(f"\n{text}\n")
+        (results_dir / f"{name}.txt").write_text(text + "\n")
+
+    return _publish

@@ -1,0 +1,74 @@
+"""Figure 5: composition success rate vs probing ratio.
+
+5(a) sweeps the probing ratio under two request rates (50 and 100
+req/min); 5(b) under two QoS stringency levels.  The paper's shapes to
+verify: success rises steeply with α and saturates early; the saturation
+level drops with workload and with QoS stringency.
+"""
+
+import pytest
+
+from repro.experiments import (
+    FAST_SCALE,
+    format_figure_table,
+    run_fig5a,
+    run_fig5b,
+)
+
+#: trimmed ratio grid: dense where the curve bends, sparse at the plateau
+RATIOS = (0.1, 0.2, 0.3, 0.5, 0.7, 1.0)
+
+
+def _assert_rising_then_saturating(series):
+    ys = series.ys()
+    # the plateau end must not sit below the start of the curve
+    assert ys[-1] >= ys[0] - 0.05, f"{series.label}: no rise ({ys})"
+    # saturation: the last half of the grid moves less than the first half
+    first_half = abs(ys[len(ys) // 2] - ys[0])
+    second_half = abs(ys[-1] - ys[len(ys) // 2])
+    assert second_half <= first_half + 0.10, f"{series.label}: no saturation"
+
+
+def test_fig5a_success_vs_ratio_by_request_rate(benchmark, publish):
+    result = benchmark.pedantic(
+        lambda: run_fig5a(
+            scale=FAST_SCALE,
+            request_rates=(50.0, 100.0),
+            probing_ratios=RATIOS,
+            seed=0,
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    publish("fig5a", format_figure_table(result))
+
+    light = result.series["50 reqs/min"]
+    heavy = result.series["100 reqs/min"]
+    _assert_rising_then_saturating(light)
+    _assert_rising_then_saturating(heavy)
+    # heavier workload saturates strictly lower (paper Fig. 5(a))
+    assert max(heavy.ys()) < max(light.ys())
+    # and is lower pointwise almost everywhere
+    worse = sum(1 for l, h in zip(light.ys(), heavy.ys()) if h < l)
+    assert worse >= len(RATIOS) - 1
+
+
+def test_fig5b_success_vs_ratio_by_qos_level(benchmark, publish):
+    result = benchmark.pedantic(
+        lambda: run_fig5b(
+            scale=FAST_SCALE,
+            qos_levels=("high", "very_high"),
+            request_rate=50.0,
+            probing_ratios=RATIOS,
+            seed=0,
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    publish("fig5b", format_figure_table(result))
+
+    high = result.series["high QoS"]
+    very_high = result.series["very_high QoS"]
+    _assert_rising_then_saturating(high)
+    # stricter QoS saturates lower (paper Fig. 5(b))
+    assert max(very_high.ys()) < max(high.ys())

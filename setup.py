@@ -1,0 +1,11 @@
+"""Setuptools entry point.
+
+Kept alongside pyproject.toml so that ``pip install -e .`` works in offline
+environments whose setuptools lacks the PEP 660 editable-wheel path (it
+needs the ``wheel`` package); pip falls back to the legacy
+``setup.py develop`` route through this file.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,11 @@
+"""repro — ACP (Adaptive Composition Probing) for scalable stream processing.
+
+A full reproduction of Gu, Yu, Nahrstedt, "Optimal Component Composition for
+Scalable Stream Processing" (ICDCS 2005): the distributed stream processing
+system model, the ACP composition algorithm with hierarchical state
+management and probing-ratio self-tuning, the baseline algorithms it is
+evaluated against, and the event-driven simulation testbed that regenerates
+every figure of the paper's evaluation.
+"""
+
+__version__ = "1.0.0"

@@ -1,0 +1,9 @@
+"""Resource admission: transient probe-time reservations and sessions."""
+
+from repro.allocation.allocator import (
+    AdmissionError,
+    ResourceAllocator,
+    SessionAllocation,
+)
+
+__all__ = ["AdmissionError", "ResourceAllocator", "SessionAllocation"]

@@ -1,0 +1,181 @@
+"""Command-line interface for the reproduction experiments.
+
+Regenerate any evaluation figure, or run a one-point algorithm comparison,
+without writing Python::
+
+    repro-experiments fig6 --scale fast
+    repro-experiments fig8 --scale paper --seed 3 -o fig8.txt
+    repro-experiments compare --rate 60 --nodes 200
+    repro-experiments fig5a --rates 50,100 --ratios 0.1,0.3,1.0
+
+``--scale paper`` runs Section 4.1's full setup (3200 routers, 100-minute
+horizons) and can take tens of minutes per figure; ``--scale fast`` (the
+default) shrinks the substrate and horizon while preserving every shape.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional, Sequence
+
+from repro.experiments import (
+    ALGORITHMS,
+    FAST_SCALE,
+    PAPER_SCALE,
+    default_spec,
+    format_fig8_table,
+    format_figure_table,
+    format_report_summary,
+    run_fig5a,
+    run_fig5b,
+    run_fig6,
+    run_fig7,
+    run_fig8,
+    run_spec,
+)
+
+SCALES = {"paper": PAPER_SCALE, "fast": FAST_SCALE}
+
+
+def _floats(text: str) -> List[float]:
+    return [float(part) for part in text.split(",") if part.strip()]
+
+
+def _ints(text: str) -> List[int]:
+    return [int(part) for part in text.split(",") if part.strip()]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The repro-experiments argument parser (one subcommand per figure)."""
+    common = argparse.ArgumentParser(add_help=False)
+    common.add_argument(
+        "--scale", choices=sorted(SCALES), default="fast",
+        help="experiment scale (default: fast)",
+    )
+    common.add_argument("--seed", type=int, default=0, help="master seed")
+    common.add_argument(
+        "--nodes", type=int, default=400,
+        help="overlay node count where the figure fixes it (default: 400)",
+    )
+    common.add_argument(
+        "-o", "--output", default=None,
+        help="also write the rendered tables to this file",
+    )
+
+    parser = argparse.ArgumentParser(
+        prog="repro-experiments",
+        description="Regenerate the evaluation figures of 'Optimal Component "
+        "Composition for Scalable Stream Processing' (ICDCS 2005).",
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    def add_command(name, help_text):
+        return commands.add_parser(name, help=help_text, parents=[common])
+
+    fig5a = add_command("fig5a", "success vs probing ratio by load")
+    fig5a.add_argument("--rates", type=_floats, default=[50.0, 100.0])
+    fig5a.add_argument(
+        "--ratios", type=_floats, default=[0.1, 0.2, 0.3, 0.5, 0.7, 1.0]
+    )
+
+    fig5b = add_command("fig5b", "success vs probing ratio by QoS")
+    fig5b.add_argument("--levels", default="high,very_high")
+    fig5b.add_argument("--rate", type=float, default=50.0)
+    fig5b.add_argument(
+        "--ratios", type=_floats, default=[0.1, 0.2, 0.3, 0.5, 0.7, 1.0]
+    )
+
+    fig6 = add_command("fig6", "efficiency vs request rate")
+    fig6.add_argument(
+        "--rates", type=_floats, default=[20.0, 40.0, 60.0, 80.0, 100.0]
+    )
+    fig6.add_argument("--algorithms", default=",".join(ALGORITHMS))
+
+    fig7 = add_command("fig7", "scalability vs node count")
+    fig7.add_argument("--counts", type=_ints, default=[200, 300, 400, 500, 600])
+    fig7.add_argument("--rate", type=float, default=80.0)
+    fig7.add_argument("--algorithms", default=",".join(ALGORITHMS))
+
+    fig8 = add_command("fig8", "adaptability under dynamic load")
+    fig8.add_argument("--target", type=float, default=0.75)
+
+    compare = add_command("compare", "all algorithms at one workload point")
+    compare.add_argument("--rate", type=float, default=60.0)
+    compare.add_argument("--algorithms", default=",".join(ALGORITHMS))
+    return parser
+
+
+def _emit(text: str, output: Optional[str]) -> None:
+    print(text)
+    if output:
+        with open(output, "a", encoding="utf-8") as sink:
+            sink.write(text + "\n")
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """Entry point: parse, run the requested experiment, emit tables."""
+    args = build_parser().parse_args(argv)
+    scale = SCALES[args.scale]
+
+    if args.command == "fig5a":
+        result = run_fig5a(
+            scale=scale, request_rates=args.rates, probing_ratios=args.ratios,
+            num_nodes=args.nodes, seed=args.seed,
+        )
+        _emit(format_figure_table(result), args.output)
+    elif args.command == "fig5b":
+        result = run_fig5b(
+            scale=scale,
+            qos_levels=args.levels.split(","),
+            request_rate=args.rate,
+            probing_ratios=args.ratios,
+            num_nodes=args.nodes,
+            seed=args.seed,
+        )
+        _emit(format_figure_table(result), args.output)
+    elif args.command == "fig6":
+        success, overhead = run_fig6(
+            scale=scale,
+            request_rates=args.rates,
+            algorithms=args.algorithms.split(","),
+            num_nodes=args.nodes,
+            seed=args.seed,
+        )
+        _emit(format_figure_table(success), args.output)
+        _emit("", args.output)
+        _emit(format_figure_table(overhead, percent=False), args.output)
+    elif args.command == "fig7":
+        success, overhead = run_fig7(
+            scale=scale,
+            node_counts=args.counts,
+            algorithms=args.algorithms.split(","),
+            request_rate=args.rate,
+            seed=args.seed,
+        )
+        _emit(format_figure_table(success), args.output)
+        _emit("", args.output)
+        _emit(format_figure_table(overhead, percent=False), args.output)
+    elif args.command == "fig8":
+        fixed, adaptive = run_fig8(
+            scale=scale, target_success_rate=args.target,
+            num_nodes=args.nodes, seed=args.seed,
+        )
+        _emit(format_fig8_table(fixed), args.output)
+        _emit("", args.output)
+        _emit(format_fig8_table(adaptive), args.output)
+    elif args.command == "compare":
+        base = default_spec(
+            scale=scale, num_nodes=args.nodes, rate_per_min=args.rate,
+            seed=args.seed,
+        )
+        reports = [
+            run_spec(base.with_algorithm(name))
+            for name in args.algorithms.split(",")
+        ]
+        _emit(format_report_summary(reports), args.output)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

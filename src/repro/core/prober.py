@@ -1,0 +1,405 @@
+"""Hop-by-hop composition probing (Section 3.3, Fig. 3).
+
+:class:`ProbingComposer` implements the distributed probing protocol as a
+level-synchronised wavefront over the request's function graph in
+topological order — which is exactly how the distributed protocol's probes
+advance, since a probe only reaches a function once all of that function's
+predecessors are assigned.  Per function placement the prober:
+
+1. enumerates candidate components (service discovery);
+2. drops interface-incompatible and — for global-state-guided variants —
+   unqualified candidates (Eqs. 6–8 against the coarse-grain state);
+3. selects up to M = ⌈α·k⌉ expansions, either by the (risk, congestion)
+   ranking of Section 3.5 (*guided*) or uniformly at random (*random*, the
+   RP baseline);
+4. "sends" a probe to each selected candidate: one message, a precise
+   on-arrival conformance check against live local state, transient
+   resource reservation (footnote 7), and state collection into the child
+   probe.
+
+Completed probes return to the deputy, which merges DAG branches (implicit
+in the wavefront: each surviving probe carries a complete assignment),
+qualifies compositions against the precise collected states (Eqs. 2–5),
+and picks the φ-minimal one (*phi*) — or a random qualified one (*random*,
+the SP baseline).
+
+The three paper variants are thin configurations of this class:
+
+================  ============  ==============  ===========
+variant           hop policy    global state    final policy
+================  ============  ==============  ===========
+ACP               guided        yes             phi
+SP  (selective)   guided        yes             random
+RP  (random)      random        no              phi
+================  ============  ==============  ===========
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.core.composer import Composer, CompositionContext, CompositionOutcome
+from repro.core.probe import Probe, ProbeFactory
+from repro.core.selection import (
+    RankingPolicy,
+    ScoredCandidate,
+    congestion_value,
+    probe_budget,
+    qualification_failure,
+    risk_value,
+    select_best,
+)
+from repro.model.qos import QoSVector, elementwise_max
+from repro.model.request import StreamRequest
+
+
+class HopSelectionPolicy(enum.Enum):
+    """How per-hop candidates are picked under the probing ratio."""
+
+    GUIDED = "guided"  # risk/congestion ranking on coarse-grain global state
+    RANDOM = "random"  # uniform choice (no global state), the RP baseline
+
+
+class FinalSelectionPolicy(enum.Enum):
+    """How the deputy picks among qualified complete compositions."""
+
+    PHI = "phi"  # congestion-aggregation minimum (Eq. 1)
+    RANDOM = "random"  # uniform qualified choice, the SP baseline
+
+
+class ProbingComposer(Composer):
+    """The composition-probing protocol with configurable policies."""
+
+    name = "Probing"
+
+    def __init__(
+        self,
+        context: CompositionContext,
+        probing_ratio: float = 0.3,
+        hop_policy: HopSelectionPolicy = HopSelectionPolicy.GUIDED,
+        final_policy: FinalSelectionPolicy = FinalSelectionPolicy.PHI,
+        use_global_state: bool = True,
+        ratio_provider: Optional[Callable[[], float]] = None,
+        ranking_policy: RankingPolicy = RankingPolicy.RISK_THEN_CONGESTION,
+    ):
+        super().__init__(context)
+        if not 0.0 < probing_ratio <= 1.0:
+            raise ValueError(f"probing ratio must be in (0, 1], got {probing_ratio}")
+        self.probing_ratio = probing_ratio
+        self.hop_policy = hop_policy
+        self.final_policy = final_policy
+        self.use_global_state = use_global_state
+        self._ratio_provider = ratio_provider
+        self.ranking_policy = ranking_policy
+
+    # -- knobs -------------------------------------------------------------
+
+    def current_probing_ratio(self) -> float:
+        """The ratio used for the next request (the tuner may override)."""
+        if self._ratio_provider is not None:
+            return self._ratio_provider()
+        return self.probing_ratio
+
+    # -- the protocol ---------------------------------------------------------
+
+    def compose(self, request: StreamRequest) -> CompositionOutcome:
+        """Run the probing wavefront for one request (Fig. 3's protocol)."""
+        context = self.context
+        graph = request.function_graph
+        ratio = self.current_probing_ratio()
+        rates = graph.input_rates(request.stream_rate)
+        factory = ProbeFactory()
+        beam: List[Probe] = [factory.initial(request, ratio)]
+        probe_messages = 0
+        explored = 0
+        # per-compose memos: the coarse-grain view of a candidate or a
+        # virtual link cannot change while one request's wavefront runs,
+        # but several probes score the same candidate
+        self._stale_qos_memo: Dict[int, QoSVector] = {}
+        self._stale_bw_memo: Dict[Tuple[int, int], float] = {}
+
+        for function_index in graph.topological_order():
+            function = graph.node(function_index).function
+            candidates = context.registry.candidates(function)
+            if not candidates:
+                return self._fail(
+                    request,
+                    "no_candidates",
+                    probe_messages=probe_messages,
+                    explored=explored,
+                )
+            budget = self._function_budget(request, ratio, len(candidates))
+            predecessors = graph.predecessors(function_index)
+            requirement = request.requirement_for(function_index)
+            input_rate = rates[function_index]
+
+            pool: List[ScoredCandidate] = []
+            for probe in beam:
+                for candidate in candidates:
+                    explored += 1
+                    entry = self._score_candidate(
+                        probe,
+                        function_index,
+                        candidate,
+                        predecessors,
+                        requirement,
+                        input_rate,
+                    )
+                    if entry is not None:
+                        pool.append(entry)
+            if not pool:
+                return self._fail(
+                    request,
+                    "no_qualified_candidates",
+                    probe_messages=probe_messages,
+                    explored=explored,
+                )
+
+            if self.hop_policy is HopSelectionPolicy.GUIDED:
+                selected = select_best(pool, budget, ranking=self.ranking_policy)
+            else:
+                selected = context.rng.sample(pool, min(budget, len(pool)))
+
+            beam = self._dispatch_probes(
+                request, factory, selected, function_index, predecessors, requirement
+            )
+            probe_messages += len(selected)  # one message per spawned probe
+            if not beam:
+                return self._fail(
+                    request,
+                    "probes_dropped",
+                    probe_messages=probe_messages,
+                    explored=explored,
+                )
+
+        probe_messages += len(beam)  # completed probes return to the deputy
+        return self._final_selection(request, beam, probe_messages, explored)
+
+    def _function_budget(
+        self, request: StreamRequest, ratio: float, candidate_count: int
+    ) -> int:
+        """How many candidates to probe for one function: M = ⌈α·k⌉.
+
+        Subclasses may bound differently (see
+        :class:`~repro.core.bounded.BoundedProbingComposer`).
+        """
+        return probe_budget(ratio, candidate_count)
+
+    # -- per-hop scoring ---------------------------------------------------------
+
+    def _score_candidate(
+        self,
+        probe: Probe,
+        function_index: int,
+        candidate,
+        predecessors: Tuple[int, ...],
+        requirement,
+        input_rate: float,
+    ) -> Optional[ScoredCandidate]:
+        """Compatibility + Eqs. 6-8 + Eq. 9/10 scores for one expansion."""
+        context = self.context
+        request = probe.request
+        # a component instance runs at most one placement per session
+        for assigned in probe.assignment.values():
+            if assigned.component_id == candidate.component_id:
+                return None
+        # interface compatibility: stream rate, capability tags, then
+        # per-predecessor formats
+        if input_rate > candidate.max_input_rate:
+            return None
+        if not candidate.satisfies_attributes(request.required_attributes):
+            return None
+        if not context.network.node(candidate.node_id).alive:
+            return None  # crashed host: component unusable
+        for predecessor in predecessors:
+            if not probe.assignment[predecessor].compatible_with(candidate):
+                return None
+
+        # The candidate's QoS as this node can know it: through the
+        # coarse-grain global state when available, else the advertised
+        # (base) interface values.  Probes verify precisely on arrival.
+        if self.use_global_state:
+            candidate_qos = self._stale_qos_memo.get(candidate.component_id)
+            if candidate_qos is None:
+                candidate_qos = context.stale_component_qos(candidate)
+                self._stale_qos_memo[candidate.component_id] = candidate_qos
+        else:
+            candidate_qos = candidate.qos
+
+        # QoS accumulation through the candidate (worst path over joins)
+        link_qos: List[QoSVector] = []
+        if predecessors:
+            accumulated = None
+            for predecessor in predecessors:
+                upstream = probe.assignment[predecessor]
+                if not context.router.reachable(upstream.node_id, candidate.node_id):
+                    return None  # no overlay path: no virtual link possible
+                vl_qos = context.router.virtual_link_qos(
+                    upstream.node_id, candidate.node_id
+                )
+                link_qos.append(vl_qos)
+                through = probe.accumulated_out[predecessor].combine(vl_qos)
+                accumulated = (
+                    through
+                    if accumulated is None
+                    else elementwise_max(accumulated, through)
+                )
+            accumulated = accumulated.combine(candidate_qos)
+        else:
+            accumulated = candidate_qos
+
+        bandwidth_requirements = [
+            request.bandwidth_for((predecessor, function_index))
+            for predecessor in predecessors
+        ]
+
+        if self.use_global_state:
+            available = context.global_state.node_available(candidate.node_id)
+            available_bandwidths = []
+            for predecessor in predecessors:
+                upstream = probe.assignment[predecessor]
+                pair = (upstream.node_id, candidate.node_id)
+                stale_bw = self._stale_bw_memo.get(pair)
+                if stale_bw is None:
+                    path = context.router.overlay_path(*pair)
+                    stale_bw = context.global_state.virtual_link_available_kbps(
+                        path
+                    )
+                    self._stale_bw_memo[pair] = stale_bw
+                available_bandwidths.append(stale_bw)
+            failure = qualification_failure(
+                accumulated,
+                request.qos_requirement,
+                requirement,
+                available,
+                bandwidth_requirements,
+                available_bandwidths,
+            )
+            if failure is not None:
+                return None
+            risk = risk_value(accumulated, request.qos_requirement)
+            congestion = congestion_value(
+                requirement, available, bandwidth_requirements, available_bandwidths
+            )
+        else:
+            # no global state: only the probe-carried QoS accumulation can
+            # disqualify a candidate before travelling there (Eq. 6)
+            if not accumulated.satisfies(request.qos_requirement):
+                return None
+            risk = 0.0
+            congestion = 0.0
+
+        return ScoredCandidate(
+            candidate=candidate,
+            risk=risk,
+            congestion=congestion,
+            accumulated_qos=accumulated,
+            parent=probe,
+            link_qos=tuple(link_qos),
+        )
+
+    # -- probe travel ----------------------------------------------------------
+
+    def _dispatch_probes(
+        self,
+        request: StreamRequest,
+        factory: ProbeFactory,
+        selected: List[ScoredCandidate],
+        function_index: int,
+        predecessors: Tuple[int, ...],
+        requirement,
+    ) -> List[Probe]:
+        """Send probes to selected candidates: precise on-arrival checks,
+        transient reservation, state collection.  Returns surviving probes."""
+        context = self.context
+        survivors: List[Probe] = []
+        now = context.clock()
+        for entry in selected:
+            parent: Probe = entry.parent
+            candidate = entry.candidate
+            observed_bw: Dict[Tuple[int, int], float] = {}
+            feasible = True
+            for predecessor in predecessors:
+                upstream = parent.assignment[predecessor]
+                live_bw = context.router.available_bandwidth(
+                    upstream.node_id, candidate.node_id
+                )
+                observed_bw[(predecessor, function_index)] = live_bw
+                if live_bw < request.bandwidth_for(
+                    (predecessor, function_index)
+                ) - 1e-9:
+                    feasible = False
+            if not feasible:
+                continue  # probe dropped on arrival (precise Eq. 8)
+            # re-accumulate QoS with the candidate's *precise* effective
+            # values; the stale-guided estimate got the probe here, the
+            # live check decides whether it survives (Eq. 6)
+            precise_qos = context.precise_component_qos(candidate)
+            if predecessors:
+                accumulated = None
+                for predecessor, vl_qos in zip(predecessors, entry.link_qos):
+                    through = parent.accumulated_out[predecessor].combine(vl_qos)
+                    accumulated = (
+                        through
+                        if accumulated is None
+                        else elementwise_max(accumulated, through)
+                    )
+                accumulated = accumulated.combine(precise_qos)
+            else:
+                accumulated = precise_qos
+            if not accumulated.satisfies(request.qos_requirement):
+                continue  # probe dropped on arrival (precise Eq. 6)
+            observed_available = context.allocator.available_excluding(
+                request.request_id, candidate.node_id
+            )
+            reserved = context.allocator.reserve_component(
+                request.request_id, candidate, requirement, now=now
+            )
+            if not reserved:
+                continue  # probe dropped on arrival (precise Eq. 7)
+            survivors.append(
+                parent.spawn(
+                    factory.next_id(),
+                    function_index,
+                    candidate,
+                    accumulated,
+                    observed_available,
+                    observed_bw,
+                )
+            )
+        return survivors
+
+    # -- deputy final selection ---------------------------------------------------
+
+    def _final_selection(
+        self,
+        request: StreamRequest,
+        beam: List[Probe],
+        probe_messages: int,
+        explored: int,
+    ) -> CompositionOutcome:
+        evaluator = self.evaluator
+        compositions = [
+            evaluator.build_component_graph(request, probe.assignment)
+            for probe in beam
+        ]
+        best, best_phi, qualified = evaluator.qualify_and_rank(compositions)
+        if best is None:
+            return self._fail(
+                request,
+                "no_qualified_composition",
+                probe_messages=probe_messages,
+                explored=explored,
+            )
+        if self.final_policy is FinalSelectionPolicy.RANDOM:
+            best_phi, best = qualified[self.context.rng.randrange(len(qualified))]
+        return CompositionOutcome(
+            request=request,
+            composition=best,
+            success=True,
+            probe_messages=probe_messages,
+            setup_messages=self._setup_messages(best),
+            explored=explored,
+            phi=best_phi,
+        )

@@ -1,0 +1,12 @@
+"""Component deployment and discovery.
+
+Stands in for the paper's decentralized service discovery system (SpiderNet
+[6]): deployment places component instances on overlay nodes; the registry
+answers "which components provide function F?" for the composition
+algorithms.
+"""
+
+from repro.discovery.deployment import ComponentDeployer, DeploymentProfile
+from repro.discovery.registry import ComponentRegistry
+
+__all__ = ["ComponentDeployer", "DeploymentProfile", "ComponentRegistry"]

@@ -1,0 +1,91 @@
+"""Component discovery.
+
+Section 3.3, per-hop probe processing step 3: "v_i acquires the locations
+of all available candidate components for each next-hop function using a
+decentralized service discovery system [6]."
+
+The cited system (SpiderNet) is a DHT; its mechanics are orthogonal to the
+composition algorithm, which only needs the *answer*: every deployed
+component providing a given function.  :class:`ComponentRegistry` provides
+that lookup.  Registration order is preserved — the *static* baseline
+algorithm picks "a fixed candidate component for each function"
+(Section 4.1), which we define as the first-registered one, so determinism
+matters.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from repro.model.component import Component
+from repro.model.functions import StreamFunction
+
+
+class ComponentRegistry:
+    """Function → deployed candidate components lookup."""
+
+    def __init__(self, components: Iterable[Component] = ()):
+        self._by_function: Dict[int, List[Component]] = {}
+        self._by_id: Dict[int, Component] = {}
+        for component in components:
+            self.register(component)
+
+    def register(self, component: Component) -> None:
+        """Add a deployed component (order defines the static baseline)."""
+        if component.component_id in self._by_id:
+            raise ValueError(f"duplicate component id {component.component_id}")
+        self._by_id[component.component_id] = component
+        self._by_function.setdefault(component.function.function_id, []).append(
+            component
+        )
+
+    def __len__(self) -> int:
+        return len(self._by_id)
+
+    def component(self, component_id: int) -> Component:
+        """Look a component up by id, raising on unknown ids."""
+        try:
+            return self._by_id[component_id]
+        except KeyError:
+            raise KeyError(f"unknown component id {component_id}") from None
+
+    def replace(self, replacement: Component) -> Component:
+        """Swap a registered component for a new instance with the same id.
+
+        Used by component migration: the instance keeps its identity but
+        moves to another node (and may change interface details).  The
+        registration *order* is preserved — the static baseline's fixed
+        choice stays stable across migrations.  Returns the old instance.
+        """
+        old = self.component(replacement.component_id)
+        if old.function.function_id != replacement.function.function_id:
+            raise ValueError(
+                f"replacement for c{old.component_id} must provide "
+                f"{old.function.name}, got {replacement.function.name}"
+            )
+        self._by_id[replacement.component_id] = replacement
+        pool = self._by_function[old.function.function_id]
+        pool[pool.index(old)] = replacement
+        return old
+
+    def candidates(self, function: StreamFunction) -> Tuple[Component, ...]:
+        """All candidate components providing ``function`` (may be empty)."""
+        return tuple(self._by_function.get(function.function_id, ()))
+
+    def candidate_count(self, function: StreamFunction) -> int:
+        """k_i — the candidate pool size the probing ratio applies to."""
+        return len(self._by_function.get(function.function_id, ()))
+
+    def static_choice(self, function: StreamFunction) -> Optional[Component]:
+        """The fixed candidate used by the *static* baseline (first
+        registered), or None if the function has no deployment."""
+        candidates = self._by_function.get(function.function_id)
+        return candidates[0] if candidates else None
+
+    def functions_covered(self) -> Tuple[int, ...]:
+        """Function ids that have at least one deployed component."""
+        return tuple(sorted(self._by_function))
+
+    def components(self) -> Tuple[Component, ...]:
+        """Every registered component, in registration order."""
+        return tuple(self._by_id.values())

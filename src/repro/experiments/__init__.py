@@ -1,0 +1,69 @@
+"""Experiment harnesses regenerating every figure of the paper's evaluation."""
+
+from repro.experiments.config import (
+    ALGORITHMS,
+    EVALUATION_DEPLOYMENT,
+    ExperimentScale,
+    FAST_SCALE,
+    PAPER_SCALE,
+    RunSpec,
+    default_spec,
+)
+from repro.experiments.figures import (
+    DEFAULT_NODE_COUNTS,
+    DEFAULT_PROBING_RATIOS,
+    DEFAULT_REQUEST_RATES,
+    Fig8Result,
+    FigureResult,
+    Series,
+    run_fig5a,
+    run_fig5b,
+    run_fig6,
+    run_fig7,
+    run_fig8,
+)
+from repro.experiments.reporting import (
+    fig8_to_csv,
+    figure_to_csv,
+    format_fig8_table,
+    format_figure_table,
+    format_report_summary,
+    report_to_dict,
+)
+from repro.experiments.runner import (
+    build_simulator,
+    make_composer,
+    run_comparison,
+    run_spec,
+)
+
+__all__ = [
+    "ALGORITHMS",
+    "EVALUATION_DEPLOYMENT",
+    "ExperimentScale",
+    "PAPER_SCALE",
+    "FAST_SCALE",
+    "RunSpec",
+    "default_spec",
+    "FigureResult",
+    "Fig8Result",
+    "Series",
+    "run_fig5a",
+    "run_fig5b",
+    "run_fig6",
+    "run_fig7",
+    "run_fig8",
+    "DEFAULT_PROBING_RATIOS",
+    "DEFAULT_REQUEST_RATES",
+    "DEFAULT_NODE_COUNTS",
+    "format_figure_table",
+    "format_fig8_table",
+    "figure_to_csv",
+    "fig8_to_csv",
+    "report_to_dict",
+    "format_report_summary",
+    "run_spec",
+    "run_comparison",
+    "build_simulator",
+    "make_composer",
+]

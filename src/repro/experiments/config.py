@@ -1,0 +1,131 @@
+"""Experiment configuration: run specs and scales.
+
+A :class:`RunSpec` pins down everything one simulation run needs — the
+system, the workload, the algorithm, and the horizon — so that experiment
+harnesses and benchmarks share one entry point
+(:func:`repro.experiments.runner.run_spec`).
+
+Two stock :class:`ExperimentScale` presets trade fidelity for wall-clock:
+
+* ``PAPER_SCALE`` — Section 4.1's setup: 3200 routers, 100-minute runs
+  (150 for the adaptability experiment), 5-minute sampling.
+* ``FAST_SCALE``  — the same system shrunk for CI and pytest-benchmark
+  runs: fewer routers, 20-minute horizons.  All qualitative shapes
+  (orderings, crossovers, saturation) survive the shrink; absolute rates
+  shift slightly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Tuple, Union
+
+from repro.discovery.deployment import DeploymentProfile
+from repro.simulation.system import SystemConfig
+from repro.simulation.workload import QOS_LEVELS, QoSLevel, RateSchedule
+
+#: Algorithms of the paper's evaluation, in its plotting order.
+ALGORITHMS: Tuple[str, ...] = ("Optimal", "ACP", "SP", "RP", "Random", "Static")
+
+#: Deployment used throughout the evaluation: one or two components per
+#: node, giving candidate pools (k ≈ N·1.5/80) in the regime the paper's
+#: exhaustive-search overhead figures imply.
+EVALUATION_DEPLOYMENT = DeploymentProfile(components_per_node=(1, 2))
+
+
+@dataclass(frozen=True)
+class ExperimentScale:
+    """Global knobs that scale a whole experiment up or down."""
+
+    name: str
+    num_routers: int
+    duration_s: float
+    adaptability_duration_s: float
+    sampling_period_s: float
+    optimal_max_explored: int
+
+    def system(self, num_nodes: int = 400, seed: int = 0) -> SystemConfig:
+        return SystemConfig(
+            num_routers=self.num_routers,
+            num_nodes=num_nodes,
+            deployment=EVALUATION_DEPLOYMENT,
+            seed=seed,
+        )
+
+
+PAPER_SCALE = ExperimentScale(
+    name="paper",
+    num_routers=3200,
+    duration_s=6000.0,  # 100 minutes
+    adaptability_duration_s=9000.0,  # 150 minutes
+    sampling_period_s=300.0,  # 5 minutes
+    optimal_max_explored=100_000,
+)
+
+FAST_SCALE = ExperimentScale(
+    name="fast",
+    num_routers=800,
+    duration_s=1200.0,  # 20 minutes
+    adaptability_duration_s=2700.0,  # 45 minutes
+    sampling_period_s=150.0,
+    optimal_max_explored=30_000,
+)
+
+
+@dataclass(frozen=True)
+class RunSpec:
+    """One simulation run, fully specified."""
+
+    algorithm: str
+    system: SystemConfig
+    schedule: RateSchedule
+    qos_level: QoSLevel = QOS_LEVELS["normal"]
+    probing_ratio: float = 0.3
+    duration_s: float = 6000.0
+    sampling_period_s: float = 300.0
+    workload_seed: int = 1000
+    #: attach the adaptive probing-ratio tuner (ACP only)
+    adaptive: bool = False
+    target_success_rate: float = 0.9
+    optimal_max_explored: int = 100_000
+
+    def __post_init__(self) -> None:
+        if self.algorithm not in ALGORITHMS:
+            raise ValueError(
+                f"unknown algorithm {self.algorithm!r}; pick one of {ALGORITHMS}"
+            )
+        if self.adaptive and self.algorithm != "ACP":
+            raise ValueError("only ACP supports adaptive probing-ratio tuning")
+
+    def with_algorithm(self, algorithm: str) -> "RunSpec":
+        return replace(self, algorithm=algorithm, adaptive=False)
+
+    def with_rate(self, rate_per_min: float) -> "RunSpec":
+        return replace(self, schedule=RateSchedule.constant(rate_per_min))
+
+    def with_ratio(self, probing_ratio: float) -> "RunSpec":
+        return replace(self, probing_ratio=probing_ratio)
+
+    def with_qos(self, level: Union[str, QoSLevel]) -> "RunSpec":
+        if isinstance(level, str):
+            level = QOS_LEVELS[level]
+        return replace(self, qos_level=level)
+
+
+def default_spec(
+    scale: ExperimentScale = PAPER_SCALE,
+    algorithm: str = "ACP",
+    num_nodes: int = 400,
+    rate_per_min: float = 80.0,
+    seed: int = 0,
+) -> RunSpec:
+    """The evaluation's common starting point: 400 nodes, α = 0.3."""
+    return RunSpec(
+        algorithm=algorithm,
+        system=scale.system(num_nodes=num_nodes, seed=seed),
+        schedule=RateSchedule.constant(rate_per_min),
+        duration_s=scale.duration_s,
+        sampling_period_s=scale.sampling_period_s,
+        workload_seed=seed + 1000,
+        optimal_max_explored=scale.optimal_max_explored,
+    )

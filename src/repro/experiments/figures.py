@@ -1,0 +1,269 @@
+"""Per-figure experiment harnesses (paper Section 4.2).
+
+One function per evaluation figure.  Each returns plain data — series of
+(x, y) points or sampled time series — that ``repro.experiments.reporting``
+renders as the same rows the paper plots:
+
+* :func:`run_fig5a` — success rate vs probing ratio at request rates
+  {50, 100} req/min (Fig. 5(a));
+* :func:`run_fig5b` — success rate vs probing ratio at QoS stringency
+  {high, very high} (Fig. 5(b));
+* :func:`run_fig6`  — success rate (6(a)) and overhead (6(b)) vs request
+  rate {20..100} for Optimal/ACP/SP/RP/Random/Static at 400 nodes, α = 0.3;
+* :func:`run_fig7`  — the same pair vs node count {200..600} at
+  80 req/min (Fig. 7);
+* :func:`run_fig8`  — success-rate time series under the dynamic workload
+  40 → 80 → 60 req/min with a fixed α = 0.3 (8(a)) and with adaptive
+  tuning toward a 90 % target (8(b)).
+
+All harnesses accept an :class:`ExperimentScale` so benchmarks can run the
+same code at reduced fidelity.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Dict, Optional, Sequence, Tuple
+
+from repro.experiments.config import (
+    ALGORITHMS,
+    ExperimentScale,
+    PAPER_SCALE,
+    RunSpec,
+    default_spec,
+)
+from repro.experiments.runner import run_spec
+from repro.simulation.metrics import WindowSample
+from repro.simulation.workload import RateSchedule
+
+#: x-axis defaults straight from the paper
+DEFAULT_PROBING_RATIOS: Tuple[float, ...] = tuple(
+    round(0.1 * step, 1) for step in range(1, 11)
+)
+DEFAULT_REQUEST_RATES: Tuple[float, ...] = (20.0, 40.0, 60.0, 80.0, 100.0)
+DEFAULT_NODE_COUNTS: Tuple[int, ...] = (200, 300, 400, 500, 600)
+#: overhead is only plotted for these in Figs. 6(b)/7(b)
+OVERHEAD_ALGORITHMS: Tuple[str, ...] = ("Optimal", "ACP", "RP")
+
+#: The evaluation's default QoS stringency.  "normal" (slack ~1.8 over the
+#: expected critical-path cost) reproduces the paper's Fig. 6 success-rate
+#: levels most closely; Fig. 5(b) tightens to "high"/"very_high".
+DEFAULT_QOS = "normal"
+
+
+@dataclass(frozen=True)
+class Series:
+    """One plotted line: a label plus (x, y) points."""
+
+    label: str
+    points: Tuple[Tuple[float, float], ...]
+
+    def xs(self) -> Tuple[float, ...]:
+        return tuple(x for x, _y in self.points)
+
+    def ys(self) -> Tuple[float, ...]:
+        return tuple(y for _x, y in self.points)
+
+
+@dataclass(frozen=True)
+class FigureResult:
+    """A family of series keyed by label, plus run metadata."""
+
+    figure: str
+    x_label: str
+    y_label: str
+    series: Dict[str, Series]
+
+    def series_labels(self) -> Tuple[str, ...]:
+        return tuple(self.series)
+
+
+# -- Fig. 5: probing ratio tuning effect ------------------------------------------
+
+
+def _fig5_base(scale: ExperimentScale, seed: int, num_nodes: int) -> RunSpec:
+    return default_spec(
+        scale=scale, algorithm="ACP", num_nodes=num_nodes, seed=seed
+    ).with_qos(DEFAULT_QOS)
+
+
+def run_fig5a(
+    scale: ExperimentScale = PAPER_SCALE,
+    request_rates: Sequence[float] = (50.0, 100.0),
+    probing_ratios: Sequence[float] = DEFAULT_PROBING_RATIOS,
+    num_nodes: int = 400,
+    seed: int = 0,
+) -> FigureResult:
+    """Fig. 5(a): success rate vs probing ratio under increasing workload."""
+    base = _fig5_base(scale, seed, num_nodes)
+    series: Dict[str, Series] = {}
+    for rate in request_rates:
+        points = []
+        for ratio in probing_ratios:
+            report = run_spec(base.with_rate(rate).with_ratio(ratio))
+            points.append((ratio, report.success_rate))
+        label = f"{rate:g} reqs/min"
+        series[label] = Series(label, tuple(points))
+    return FigureResult("5a", "probing ratio", "success rate (%)", series)
+
+
+def run_fig5b(
+    scale: ExperimentScale = PAPER_SCALE,
+    qos_levels: Sequence[str] = ("high", "very_high"),
+    request_rate: float = 50.0,
+    probing_ratios: Sequence[float] = DEFAULT_PROBING_RATIOS,
+    num_nodes: int = 400,
+    seed: int = 0,
+) -> FigureResult:
+    """Fig. 5(b): success rate vs probing ratio under QoS stringency."""
+    base = default_spec(
+        scale=scale, algorithm="ACP", num_nodes=num_nodes, seed=seed
+    ).with_rate(request_rate)
+    series: Dict[str, Series] = {}
+    for level in qos_levels:
+        points = []
+        for ratio in probing_ratios:
+            report = run_spec(base.with_qos(level).with_ratio(ratio))
+            points.append((ratio, report.success_rate))
+        label = f"{level} QoS"
+        series[label] = Series(label, tuple(points))
+    return FigureResult("5b", "probing ratio", "success rate (%)", series)
+
+
+# -- Fig. 6: efficiency ------------------------------------------------------------
+
+
+def run_fig6(
+    scale: ExperimentScale = PAPER_SCALE,
+    request_rates: Sequence[float] = DEFAULT_REQUEST_RATES,
+    algorithms: Sequence[str] = ALGORITHMS,
+    probing_ratio: float = 0.3,
+    num_nodes: int = 400,
+    seed: int = 0,
+) -> Tuple[FigureResult, FigureResult]:
+    """Fig. 6: (a) success rate and (b) overhead vs request rate, 400 nodes."""
+    base = (
+        default_spec(scale=scale, num_nodes=num_nodes, seed=seed)
+        .with_qos(DEFAULT_QOS)
+        .with_ratio(probing_ratio)
+    )
+    success: Dict[str, Series] = {}
+    overhead: Dict[str, Series] = {}
+    for algorithm in algorithms:
+        success_points = []
+        overhead_points = []
+        for rate in request_rates:
+            report = run_spec(base.with_algorithm(algorithm).with_rate(rate))
+            success_points.append((rate, report.success_rate))
+            overhead_points.append((rate, report.overhead_per_min))
+        success[algorithm] = Series(algorithm, tuple(success_points))
+        if algorithm in OVERHEAD_ALGORITHMS:
+            overhead[algorithm] = Series(algorithm, tuple(overhead_points))
+    return (
+        FigureResult("6a", "request rate (reqs/min)", "success rate (%)", success),
+        FigureResult("6b", "request rate (reqs/min)", "overhead (msgs/min)", overhead),
+    )
+
+
+# -- Fig. 7: scalability -------------------------------------------------------------
+
+
+def run_fig7(
+    scale: ExperimentScale = PAPER_SCALE,
+    node_counts: Sequence[int] = DEFAULT_NODE_COUNTS,
+    algorithms: Sequence[str] = ALGORITHMS,
+    request_rate: float = 80.0,
+    probing_ratio: float = 0.3,
+    seed: int = 0,
+) -> Tuple[FigureResult, FigureResult]:
+    """Fig. 7: (a) success rate and (b) overhead vs system size at
+    80 req/min; candidate pools scale with the node count (the deployment
+    places components per node)."""
+    success: Dict[str, Series] = {}
+    overhead: Dict[str, Series] = {}
+    for algorithm in algorithms:
+        success_points = []
+        overhead_points = []
+        for node_count in node_counts:
+            spec = (
+                default_spec(
+                    scale=scale,
+                    algorithm=algorithm,
+                    num_nodes=node_count,
+                    rate_per_min=request_rate,
+                    seed=seed,
+                )
+                .with_qos(DEFAULT_QOS)
+                .with_ratio(probing_ratio)
+            )
+            report = run_spec(spec)
+            success_points.append((node_count, report.success_rate))
+            overhead_points.append((node_count, report.overhead_per_min))
+        success[algorithm] = Series(algorithm, tuple(success_points))
+        if algorithm in OVERHEAD_ALGORITHMS:
+            overhead[algorithm] = Series(algorithm, tuple(overhead_points))
+    return (
+        FigureResult("7a", "node number", "success rate (%)", success),
+        FigureResult("7b", "node number", "overhead (msgs/min)", overhead),
+    )
+
+
+# -- Fig. 8: adaptability ----------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Fig8Result:
+    """Time series for one adaptability run."""
+
+    figure: str
+    samples: Tuple[WindowSample, ...]
+    schedule: RateSchedule
+    target_success_rate: Optional[float]
+
+
+def _dynamic_schedule(duration_s: float) -> RateSchedule:
+    """The paper's dynamic workload: 40 → 80 (at 1/3) → 60 (at 2/3)."""
+    return RateSchedule.steps(
+        (0.0, 40.0),
+        (duration_s / 3.0, 80.0),
+        (2.0 * duration_s / 3.0, 60.0),
+    )
+
+
+def run_fig8(
+    scale: ExperimentScale = PAPER_SCALE,
+    target_success_rate: float = 0.75,
+    fixed_ratio: float = 0.3,
+    num_nodes: int = 400,
+    seed: int = 0,
+) -> Tuple[Fig8Result, Fig8Result]:
+    """Fig. 8: (a) fixed probing ratio vs (b) adaptive tuning under the
+    dynamic workload.
+
+    The paper targets a 90 % success rate; in its simulator the 40 and 60
+    req/min phases saturate near 100 % and the 80 req/min phase near 90 %.
+    Our calibration saturates lower (≈85 / 70 / 78 % for the three phases),
+    so the default target is 75 % — the same *relative* position (just
+    under the low-load saturation, above what a fixed α sustains at the
+    load peak) that makes the paper's dynamic visible: α rises on the load
+    step, success recovers to the target, α falls back when load drops.
+    Pass ``target_success_rate=0.9`` to reproduce the paper's literal
+    setting (the tuner then rails at α = 1 during the overload phase)."""
+    duration = scale.adaptability_duration_s
+    schedule = _dynamic_schedule(duration)
+    base = default_spec(
+        scale=scale, algorithm="ACP", num_nodes=num_nodes, seed=seed
+    ).with_qos(DEFAULT_QOS)
+    base = replace(
+        base,
+        schedule=schedule,
+        duration_s=duration,
+        target_success_rate=target_success_rate,
+    )
+
+    fixed_report = run_spec(base.with_ratio(fixed_ratio))
+    adaptive_report = run_spec(replace(base, adaptive=True))
+    return (
+        Fig8Result("8a", fixed_report.window_samples, schedule, None),
+        Fig8Result("8b", adaptive_report.window_samples, schedule, target_success_rate),
+    )

@@ -1,0 +1,177 @@
+"""Rendering experiment results as the paper's rows.
+
+Plain-text tables: one row per x value, one column per series — the same
+numbers the paper plots in Figs. 5–8, printable from benchmarks and the
+examples without any plotting dependency.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from repro.experiments.figures import FigureResult, Fig8Result
+from repro.simulation.metrics import SimulationReport
+
+
+def format_figure_table(result: FigureResult, percent: bool = True) -> str:
+    """Render a multi-series figure as an aligned text table.
+
+    ``percent`` scales y values by 100 (success rates); overhead figures
+    pass False.
+    """
+    labels = list(result.series)
+    xs: List[float] = []
+    for series in result.series.values():
+        for x, _y in series.points:
+            if x not in xs:
+                xs.append(x)
+    xs.sort()
+
+    header = [result.x_label] + labels
+    rows: List[List[str]] = []
+    for x in xs:
+        row = [f"{x:g}"]
+        for label in labels:
+            lookup = dict(result.series[label].points)
+            y = lookup.get(x)
+            if y is None:
+                row.append("-")
+            elif percent:
+                row.append(f"{100.0 * y:.1f}")
+            else:
+                row.append(f"{y:.1f}")
+        rows.append(row)
+    title = f"Figure {result.figure}: {result.y_label} vs {result.x_label}"
+    return title + "\n" + _align([header] + rows)
+
+
+def format_fig8_table(result: Fig8Result) -> str:
+    """Render an adaptability time series: time, rate, success, ratio."""
+    header = ["time (min)", "load (reqs/min)", "success rate (%)", "probing ratio"]
+    rows = []
+    for sample in result.samples:
+        rows.append(
+            [
+                f"{sample.time / 60.0:.0f}",
+                f"{result.schedule.rate_at(sample.time):g}",
+                f"{100.0 * sample.success_rate:.1f}",
+                "-" if sample.probing_ratio is None else f"{sample.probing_ratio:.1f}",
+            ]
+        )
+    title = f"Figure {result.figure}"
+    if result.target_success_rate is not None:
+        title += f" (adaptive, target {100 * result.target_success_rate:.0f}%)"
+    else:
+        title += " (fixed probing ratio)"
+    return title + "\n" + _align([header] + rows)
+
+
+def format_report_summary(reports: Sequence[SimulationReport]) -> str:
+    """One line per algorithm: the whole-run summary comparison."""
+    header = [
+        "algorithm",
+        "requests",
+        "success (%)",
+        "probes/min",
+        "state msgs/min",
+        "overhead/min",
+        "mean phi",
+    ]
+    rows = []
+    for report in reports:
+        rows.append(
+            [
+                report.algorithm,
+                str(report.total_requests),
+                f"{100.0 * report.success_rate:.1f}",
+                f"{report.probe_messages_per_min:.0f}",
+                f"{report.state_messages_per_min:.0f}",
+                f"{report.overhead_per_min:.0f}",
+                "-" if report.mean_phi is None else f"{report.mean_phi:.2f}",
+            ]
+        )
+    return _align([header] + rows)
+
+
+def figure_to_csv(result: FigureResult) -> str:
+    """The figure's series as CSV: one row per x, one column per series.
+
+    Missing points (a series without that x) are empty cells.  Y values
+    are raw fractions/values — no percent scaling — so downstream plotting
+    owns the formatting.
+    """
+    labels = list(result.series)
+    xs: List[float] = []
+    for series in result.series.values():
+        for x, _y in series.points:
+            if x not in xs:
+                xs.append(x)
+    xs.sort()
+    lines = [",".join([_csv_cell(result.x_label)] + [_csv_cell(l) for l in labels])]
+    for x in xs:
+        row = [f"{x:g}"]
+        for label in labels:
+            lookup = dict(result.series[label].points)
+            y = lookup.get(x)
+            row.append("" if y is None else f"{y:.6g}")
+        lines.append(",".join(row))
+    return "\n".join(lines) + "\n"
+
+
+def fig8_to_csv(result: Fig8Result) -> str:
+    """An adaptability time series as CSV."""
+    lines = ["time_s,load_reqs_per_min,success_rate,probing_ratio"]
+    for sample in result.samples:
+        ratio = "" if sample.probing_ratio is None else f"{sample.probing_ratio:.3f}"
+        lines.append(
+            f"{sample.time:g},{result.schedule.rate_at(sample.time):g},"
+            f"{sample.success_rate:.6g},{ratio}"
+        )
+    return "\n".join(lines) + "\n"
+
+
+def report_to_dict(report: SimulationReport) -> dict:
+    """A simulation report as a JSON-serialisable dict."""
+    return {
+        "algorithm": report.algorithm,
+        "duration_s": report.duration_s,
+        "total_requests": report.total_requests,
+        "successes": report.successes,
+        "success_rate": report.success_rate,
+        "probe_messages": report.probe_messages,
+        "setup_messages": report.setup_messages,
+        "state_update_messages": report.state_update_messages,
+        "aggregation_messages": report.aggregation_messages,
+        "overhead_per_min": report.overhead_per_min,
+        "mean_phi": report.mean_phi,
+        "failure_reasons": dict(report.failure_reasons),
+        "window_samples": [
+            {
+                "time": sample.time,
+                "success_rate": sample.success_rate,
+                "requests": sample.requests,
+                "probing_ratio": sample.probing_ratio,
+            }
+            for sample in report.window_samples
+        ],
+    }
+
+
+def _csv_cell(text: str) -> str:
+    if "," in text or '"' in text:
+        return '"' + text.replace('"', '""') + '"'
+    return text
+
+
+def _align(rows: Sequence[Sequence[str]]) -> str:
+    """Column-align rows of strings."""
+    widths = [0] * max(len(row) for row in rows)
+    for row in rows:
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+    lines = []
+    for row in rows:
+        lines.append(
+            "  ".join(cell.rjust(widths[index]) for index, cell in enumerate(row))
+        )
+    return "\n".join(lines)

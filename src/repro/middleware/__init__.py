@@ -1,0 +1,17 @@
+"""Session-oriented middleware: the paper's Find/Process/Close interface."""
+
+from repro.middleware.session import (
+    ProcessingResult,
+    SessionError,
+    SessionManager,
+    SessionState,
+    StreamSession,
+)
+
+__all__ = [
+    "SessionManager",
+    "StreamSession",
+    "SessionState",
+    "SessionError",
+    "ProcessingResult",
+]

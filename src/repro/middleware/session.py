@@ -1,0 +1,210 @@
+"""Session-oriented stream processing middleware (Section 2.2).
+
+The paper's middleware interface:
+
+* ``sessionId = Find(ξ, Q_req, R_req)`` — "invokes the optimal component
+  composition algorithm to find the best component graph.  If the
+  composition is successful, the middleware creates a session record with
+  a session identifier ... Otherwise, a null sessionId is returned."
+* ``Process(sessionId, data streams)`` — "starts the continuous data
+  stream processing using the application's component graph."
+* ``Close(sessionId)`` — "tears down the stream processing session ...
+  The corresponding session information is deleted from the session
+  table."
+
+:class:`SessionManager` implements exactly that on top of a composer and
+the allocator.  ``process`` additionally reports what the composed
+application would do to a batch of data units (output rate from the
+per-stage selectivities, expected end-to-end delay and loss from the
+composition's QoS aggregation) — the observable behaviour examples and
+integration tests assert on.
+"""
+
+from __future__ import annotations
+
+import enum
+import itertools
+from dataclasses import dataclass
+from typing import Callable, Dict, Optional, Tuple
+
+from repro.allocation.allocator import AdmissionError, ResourceAllocator, SessionAllocation
+from repro.core.composer import Composer, CompositionOutcome
+from repro.model.component_graph import ComponentGraph
+from repro.model.request import StreamRequest
+
+
+class SessionState(enum.Enum):
+    COMPOSED = "composed"
+    PROCESSING = "processing"
+    CLOSED = "closed"
+    FAILED = "failed"
+
+
+class SessionError(RuntimeError):
+    """Raised on operations against unknown or closed sessions."""
+
+
+@dataclass
+class ProcessingResult:
+    """What one Process() call did to a batch of data units."""
+
+    session_id: int
+    units_in: float
+    units_out: float
+    expected_delay_ms: float
+    expected_loss_rate: float
+
+
+@dataclass
+class StreamSession:
+    """One live stream processing session (a session-table record)."""
+
+    session_id: int
+    request: StreamRequest
+    composition: ComponentGraph
+    allocation: SessionAllocation
+    state: SessionState
+    created_at: float
+    units_processed: float = 0.0
+
+
+class SessionManager:
+    """The Find / Process / Close middleware over one composer."""
+
+    def __init__(
+        self,
+        composer: Composer,
+        allocator: ResourceAllocator,
+        clock: Callable[[], float] = lambda: 0.0,
+    ):
+        self.composer = composer
+        self.allocator = allocator
+        self.clock = clock
+        self._sessions: Dict[int, StreamSession] = {}
+        self._session_ids = itertools.count(1)
+        #: sessions ever created (the session id counter never reuses ids)
+        self.sessions_created = 0
+
+    # -- Find --------------------------------------------------------------
+
+    def find(
+        self, request: StreamRequest
+    ) -> Tuple[Optional[int], CompositionOutcome]:
+        """Compose and admit ``request``; returns (sessionId | None, outcome).
+
+        A None session id indicates composition failure — either no
+        qualified composition was found, or (in a concurrent deployment)
+        the admission lost a race after probing.
+        """
+        outcome = self.composer.compose(request)
+        if not outcome.success or outcome.composition is None:
+            self.allocator.cancel_transient(request.request_id)
+            return None, outcome
+        try:
+            allocation = self.allocator.commit(outcome.composition)
+        except AdmissionError:
+            self.allocator.cancel_transient(request.request_id)
+            outcome.success = False
+            outcome.failure_reason = "admission_race"
+            return None, outcome
+        session_id = next(self._session_ids)
+        self._sessions[session_id] = StreamSession(
+            session_id=session_id,
+            request=request,
+            composition=outcome.composition,
+            allocation=allocation,
+            state=SessionState.COMPOSED,
+            created_at=self.clock(),
+        )
+        self.sessions_created += 1
+        return session_id, outcome
+
+    # -- Process -------------------------------------------------------------
+
+    def process(self, session_id: int, units_in: float) -> ProcessingResult:
+        """Push ``units_in`` data units through the session's composition."""
+        session = self._get_open(session_id)
+        if units_in < 0.0:
+            raise ValueError(f"units_in must be non-negative, got {units_in}")
+        session.state = SessionState.PROCESSING
+        graph = session.request.function_graph
+        # output volume: per-unit, the product of selectivities along the
+        # rate propagation; reuse the graph's rate algebra with the batch
+        # size standing in for the rate.
+        if units_in > 0.0:
+            rates = graph.input_rates(units_in)
+            units_out = sum(
+                graph.node(sink).function.output_rate(rates[sink])
+                for sink in graph.sinks()
+            )
+        else:
+            units_out = 0.0
+        worst_qos = self.composer.evaluator.worst_effective_qos(
+            session.composition
+        )
+        loss = worst_qos["loss_rate"]
+        result = ProcessingResult(
+            session_id=session_id,
+            units_in=units_in,
+            units_out=units_out * (1.0 - loss),
+            expected_delay_ms=worst_qos["delay"],
+            expected_loss_rate=loss,
+        )
+        session.units_processed += units_in
+        return result
+
+    # -- Close ----------------------------------------------------------------
+
+    def close(self, session_id: int) -> None:
+        """Tear down the session and delete its record."""
+        session = self._get_open(session_id)
+        self.allocator.release(session.allocation)
+        session.state = SessionState.CLOSED
+        del self._sessions[session_id]
+
+    def close_if_open(self, session_id: int) -> bool:
+        """Close the session if it is still in the table; False otherwise.
+
+        The simulator's scheduled end-of-session events use this: a session
+        may already be gone because a node crash terminated it.
+        """
+        if session_id not in self._sessions:
+            return False
+        self.close(session_id)
+        return True
+
+    # -- failure handling ---------------------------------------------------
+
+    def terminate_sessions_using_node(self, node_id: int) -> int:
+        """Kill every session with a component on ``node_id``.
+
+        Used by failure injection: the application crashed with the node.
+        All of the session's resources are released (including the
+        bookkeeping on the crashed node).  Returns the number of sessions
+        terminated.
+        """
+        doomed = [
+            session
+            for session in self._sessions.values()
+            if node_id in session.allocation.node_demands
+        ]
+        for session in doomed:
+            self.allocator.release(session.allocation)
+            session.state = SessionState.FAILED
+            del self._sessions[session.session_id]
+        return len(doomed)
+
+    # -- introspection -----------------------------------------------------------
+
+    def session(self, session_id: int) -> StreamSession:
+        return self._get_open(session_id)
+
+    @property
+    def active_session_count(self) -> int:
+        return len(self._sessions)
+
+    def _get_open(self, session_id: int) -> StreamSession:
+        session = self._sessions.get(session_id)
+        if session is None:
+            raise SessionError(f"unknown or closed session {session_id}")
+        return session

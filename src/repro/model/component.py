@@ -1,0 +1,98 @@
+"""Stream processing components.
+
+Section 2.1: "Each node provides a set of stream processing components
+{c_1, ..., c_k}.  Each component provides an atomic stream processing
+function ...  Each component has well-defined interfaces describing its
+input requirements (e.g., data format, stream rate) and output properties.
+Each component is associated with (1) a QoS vector ... and (2) a resource
+availability vector ... on the node providing c_i."
+
+A :class:`Component` here is the immutable deployed instance: its identity,
+the function it implements, the node hosting it, its QoS values, and its
+interface specification (accepted input formats, produced output format,
+maximum sustainable input stream rate).  The *resource availability* part of
+the paper's component state lives on the hosting :class:`~repro.model.node.Node`,
+since co-located components share it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import FrozenSet
+
+from repro.model.functions import StreamFunction
+from repro.model.qos import QoSVector
+
+
+@dataclass(frozen=True)
+class Component:
+    """A deployed stream processing component instance.
+
+    Attributes:
+        component_id: Globally unique integer id.
+        function: The :class:`StreamFunction` this component implements.
+        node_id: Id of the hosting stream processing node.
+        qos: Component QoS vector (e.g. processing delay, loss rate).
+        input_formats: Stream formats this component accepts.
+        output_format: The stream format this component produces.
+        max_input_rate: Highest input stream rate (data units/s) the
+            component's interface admits; used by the paper's per-hop
+            "input/output stream rate compatibility" check.
+        attributes: Capability tags the component advertises, e.g.
+            ``{"security:high", "licence:commercial"}``.  Requests may
+            demand tags (Section 6 names security level and software
+            licence as composition constraints); a component qualifies only
+            if it advertises every demanded tag.
+    """
+
+    component_id: int
+    function: StreamFunction
+    node_id: int
+    qos: QoSVector
+    input_formats: FrozenSet[str]
+    output_format: str
+    max_input_rate: float
+    attributes: FrozenSet[str] = frozenset()
+
+    def __post_init__(self) -> None:
+        if self.max_input_rate <= 0.0:
+            raise ValueError(
+                f"max_input_rate must be positive, got {self.max_input_rate}"
+            )
+        if self.output_format not in self.function.output_formats:
+            raise ValueError(
+                f"output format {self.output_format!r} is not one of "
+                f"{sorted(self.function.output_formats)} for {self.function.name}"
+            )
+        if not self.input_formats:
+            raise ValueError("component must accept at least one input format")
+        if not self.input_formats <= self.function.input_formats:
+            raise ValueError(
+                f"input formats {sorted(self.input_formats)} exceed the function's "
+                f"interface {sorted(self.function.input_formats)}"
+            )
+
+    def accepts(self, stream_format: str, stream_rate: float) -> bool:
+        """The paper's interface compatibility check for an incoming stream.
+
+        True iff this component can consume a stream of ``stream_format`` at
+        ``stream_rate`` data units per second.
+        """
+        return stream_format in self.input_formats and stream_rate <= self.max_input_rate
+
+    def output_rate(self, input_rate: float) -> float:
+        """Stream rate this component emits when fed ``input_rate``."""
+        return self.function.output_rate(input_rate)
+
+    def compatible_with(self, downstream: "Component") -> bool:
+        """Format-level compatibility between ``self`` and a successor."""
+        return self.output_format in downstream.input_formats
+
+    def satisfies_attributes(self, required: FrozenSet[str]) -> bool:
+        """True iff every demanded capability tag is advertised."""
+        return required <= self.attributes
+
+    def __repr__(self) -> str:
+        return (
+            f"Component(c{self.component_id} {self.function.name}@v{self.node_id})"
+        )

@@ -1,0 +1,252 @@
+"""Function graphs — the user's stream processing application template.
+
+Section 2.2: "The user can specify the stream processing request in terms
+of: (1) function requirements described by a function graph ... The function
+graph includes a set of function nodes (F_i) connected by dependency links."
+
+A :class:`FunctionGraph` is a DAG whose vertices are :class:`FunctionNode`
+placements of catalog functions and whose edges are stream dependency links.
+The paper's workloads use two shapes (Section 4.1): simple paths, and DAGs
+with two branch paths (a split stage fans out to two branches that join
+again, as in Fig. 1(c)); this class supports arbitrary DAGs.
+
+Besides structure, the graph knows how the stream *rate* propagates through
+it (each function scales its input rate by its selectivity; a fan-out stage
+sends a full copy of its output down every branch; a join consumes the sum
+of its incoming rates), which drives the per-hop rate compatibility check
+and per-link bandwidth requirements.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Sequence, Tuple
+
+from repro.model.functions import StreamFunction
+
+
+@dataclass(frozen=True)
+class FunctionNode:
+    """One placement of a function inside a function graph.
+
+    The same catalog function may appear at several places in one graph, so
+    placements are identified by a graph-local ``index``.
+    """
+
+    index: int
+    function: StreamFunction
+
+    def __repr__(self) -> str:
+        return f"F{self.index}({self.function.name})"
+
+
+class FunctionGraph:
+    """An immutable DAG of function placements with dependency links."""
+
+    __slots__ = (
+        "_nodes",
+        "_edges",
+        "_succ",
+        "_pred",
+        "_topo_order",
+        "_levels",
+    )
+
+    def __init__(
+        self,
+        functions: Sequence[StreamFunction],
+        edges: Iterable[Tuple[int, int]],
+    ):
+        self._nodes: Tuple[FunctionNode, ...] = tuple(
+            FunctionNode(index, function) for index, function in enumerate(functions)
+        )
+        if not self._nodes:
+            raise ValueError("function graph must have at least one node")
+        edge_list = sorted(set((int(a), int(b)) for a, b in edges))
+        n = len(self._nodes)
+        for a, b in edge_list:
+            if not (0 <= a < n and 0 <= b < n):
+                raise ValueError(f"edge ({a}, {b}) references unknown node; n={n}")
+            if a == b:
+                raise ValueError(f"self-loop on node {a}")
+        self._edges: Tuple[Tuple[int, int], ...] = tuple(edge_list)
+        succ: Dict[int, List[int]] = {i: [] for i in range(n)}
+        pred: Dict[int, List[int]] = {i: [] for i in range(n)}
+        for a, b in self._edges:
+            succ[a].append(b)
+            pred[b].append(a)
+        self._succ = {k: tuple(v) for k, v in succ.items()}
+        self._pred = {k: tuple(v) for k, v in pred.items()}
+        self._topo_order = self._compute_topological_order()
+        self._levels = self._compute_levels()
+
+    # -- construction helpers ------------------------------------------------
+
+    @classmethod
+    def path(cls, functions: Sequence[StreamFunction]) -> "FunctionGraph":
+        """A linear pipeline F0 → F1 → ... → Fk."""
+        return cls(functions, [(i, i + 1) for i in range(len(functions) - 1)])
+
+    @classmethod
+    def two_branch(
+        cls,
+        source: StreamFunction,
+        branch_a: Sequence[StreamFunction],
+        branch_b: Sequence[StreamFunction],
+        join: StreamFunction,
+    ) -> "FunctionGraph":
+        """The paper's two-branch DAG: source → (branch A ∥ branch B) → join.
+
+        This is the Fig. 1(c) shape — e.g. a split stage feeding a
+        voice-recognition branch and a face-recognition branch that merge in
+        a correlation stage.
+        """
+        if not branch_a or not branch_b:
+            raise ValueError("both branches must be non-empty")
+        functions: List[StreamFunction] = [source]
+        edges: List[Tuple[int, int]] = []
+        for branch in (branch_a, branch_b):
+            previous = 0
+            for function in branch:
+                functions.append(function)
+                index = len(functions) - 1
+                edges.append((previous, index))
+                previous = index
+            join_index_placeholder = previous
+            # connect the branch tail to the join once the join exists
+            edges.append((join_index_placeholder, -1))
+        functions.append(join)
+        join_index = len(functions) - 1
+        edges = [(a, join_index if b == -1 else b) for a, b in edges]
+        return cls(functions, edges)
+
+    # -- structure -------------------------------------------------------------
+
+    @property
+    def nodes(self) -> Tuple[FunctionNode, ...]:
+        return self._nodes
+
+    @property
+    def edges(self) -> Tuple[Tuple[int, int], ...]:
+        return self._edges
+
+    def __len__(self) -> int:
+        return len(self._nodes)
+
+    def node(self, index: int) -> FunctionNode:
+        return self._nodes[index]
+
+    def successors(self, index: int) -> Tuple[int, ...]:
+        return self._succ[index]
+
+    def predecessors(self, index: int) -> Tuple[int, ...]:
+        return self._pred[index]
+
+    def sources(self) -> Tuple[int, ...]:
+        """Nodes with no predecessors (stream entry points)."""
+        return tuple(i for i in range(len(self._nodes)) if not self._pred[i])
+
+    def sinks(self) -> Tuple[int, ...]:
+        """Nodes with no successors (stream exit points)."""
+        return tuple(i for i in range(len(self._nodes)) if not self._succ[i])
+
+    def is_path(self) -> bool:
+        """True iff the graph is a simple pipeline."""
+        return all(
+            len(self._succ[i]) <= 1 and len(self._pred[i]) <= 1
+            for i in range(len(self._nodes))
+        ) and len(self.sources()) == 1
+
+    def topological_order(self) -> Tuple[int, ...]:
+        return self._topo_order
+
+    def levels(self) -> Tuple[Tuple[int, ...], ...]:
+        """Topological levels: level k holds nodes whose longest path from a
+        source has k edges.  The ACP probe wavefront advances level by level.
+        """
+        return self._levels
+
+    def _compute_topological_order(self) -> Tuple[int, ...]:
+        in_degree = {i: len(self._pred[i]) for i in range(len(self._nodes))}
+        ready = sorted(i for i, d in in_degree.items() if d == 0)
+        order: List[int] = []
+        while ready:
+            current = ready.pop(0)
+            order.append(current)
+            for successor in self._succ[current]:
+                in_degree[successor] -= 1
+                if in_degree[successor] == 0:
+                    # keep deterministic order without a heap: insert sorted
+                    position = 0
+                    while position < len(ready) and ready[position] < successor:
+                        position += 1
+                    ready.insert(position, successor)
+        if len(order) != len(self._nodes):
+            raise ValueError("function graph contains a cycle")
+        return tuple(order)
+
+    def _compute_levels(self) -> Tuple[Tuple[int, ...], ...]:
+        depth = {i: 0 for i in range(len(self._nodes))}
+        for index in self._topo_order:
+            for predecessor in self._pred[index]:
+                depth[index] = max(depth[index], depth[predecessor] + 1)
+        max_depth = max(depth.values())
+        buckets: List[List[int]] = [[] for _ in range(max_depth + 1)]
+        for index in self._topo_order:
+            buckets[depth[index]].append(index)
+        return tuple(tuple(bucket) for bucket in buckets)
+
+    # -- stream rates -----------------------------------------------------------
+
+    def input_rates(self, source_rate: float) -> Dict[int, float]:
+        """Input stream rate into every function node.
+
+        Source nodes receive ``source_rate``.  A node with several
+        predecessors (a join) receives the sum of their output rates; a node
+        with several successors sends its full output rate down each branch.
+        """
+        if source_rate <= 0.0:
+            raise ValueError(f"source_rate must be positive, got {source_rate}")
+        rates: Dict[int, float] = {}
+        for index in self._topo_order:
+            predecessors = self._pred[index]
+            if not predecessors:
+                rates[index] = source_rate
+            else:
+                rates[index] = sum(
+                    self._nodes[p].function.output_rate(rates[p]) for p in predecessors
+                )
+        return rates
+
+    def edge_rates(self, source_rate: float) -> Dict[Tuple[int, int], float]:
+        """Stream rate carried by every dependency link."""
+        rates = self.input_rates(source_rate)
+        return {
+            (a, b): self._nodes[a].function.output_rate(rates[a])
+            for a, b in self._edges
+        }
+
+    def all_paths(self) -> Tuple[Tuple[int, ...], ...]:
+        """Every source-to-sink path, as node index tuples.
+
+        Used for end-to-end QoS checks: additive metrics must satisfy the
+        requirement along *every* path.
+        """
+        paths: List[Tuple[int, ...]] = []
+
+        def extend(prefix: Tuple[int, ...]) -> None:
+            tail = prefix[-1]
+            successors = self._succ[tail]
+            if not successors:
+                paths.append(prefix)
+                return
+            for successor in successors:
+                extend(prefix + (successor,))
+
+        for source in self.sources():
+            extend((source,))
+        return tuple(paths)
+
+    def __repr__(self) -> str:
+        shape = "path" if self.is_path() else "dag"
+        return f"FunctionGraph({shape}, {len(self._nodes)} nodes, {len(self._edges)} edges)"

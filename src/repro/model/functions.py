@@ -1,0 +1,149 @@
+"""Stream processing functions and the function catalog.
+
+Section 2.1: "Each component provides an atomic stream processing function
+(f_i) such as filtering, aggregation, correlation, and audio/video analysis";
+Section 4.1: "Each node provides a number of components whose functions are
+selected from 80 pre-defined functions."
+
+A :class:`StreamFunction` is the *type* of a processing stage.  It carries
+the interface information needed for the paper's compatibility check
+("the input/output rates of two adjacent components must be compatible ...
+based on the component's interface specifications"):
+
+* a set of named stream *formats* the function's components may consume and
+  produce, and
+* a *selectivity* — the output/input stream-rate ratio (a filter emits fewer
+  data units than it receives; a decoder may emit more).
+
+Formats are drawn from a catalog-wide *format universe* shared by all
+functions (a stream handed from a filtering stage to an aggregation stage
+must speak a common format).  By default every function's interface spans
+the whole universe and individual *components* narrow it (Section 2.1 puts
+the interface spec on components); the compatibility check then happens
+between adjacent components.
+
+The :class:`FunctionCatalog` deterministically generates the paper's 80
+pre-defined functions across the categories named in the paper's examples.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, List, Sequence, Tuple
+
+#: (category, base selectivity) pairs used to generate the default catalog.
+#: Selectivity is the output-rate / input-rate ratio of the function.
+DEFAULT_CATEGORIES: Tuple[Tuple[str, float], ...] = (
+    ("filtering", 0.6),
+    ("aggregation", 0.3),
+    ("correlation", 0.8),
+    ("transformation", 1.0),
+    ("classification", 0.9),
+    ("compression", 0.5),
+    ("encryption", 1.0),
+    ("analysis", 1.0),
+)
+
+
+@dataclass(frozen=True)
+class StreamFunction:
+    """An atomic stream processing function type.
+
+    Attributes:
+        function_id: Dense integer id, unique within a catalog.
+        name: Human-readable name, e.g. ``"filtering-03"``.
+        category: Category the function was generated from.
+        input_formats: Formats components of this function may accept.
+        output_formats: Formats components of this function may produce.
+        selectivity: Output-rate / input-rate ratio of the function.
+    """
+
+    function_id: int
+    name: str
+    category: str
+    input_formats: FrozenSet[str]
+    output_formats: FrozenSet[str]
+    selectivity: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.selectivity <= 0.0:
+            raise ValueError(f"selectivity must be positive, got {self.selectivity}")
+        if not self.input_formats or not self.output_formats:
+            raise ValueError(f"function {self.name!r} needs input and output formats")
+
+    def output_rate(self, input_rate: float) -> float:
+        """Stream rate emitted when fed ``input_rate`` data units per second."""
+        return input_rate * self.selectivity
+
+    def __repr__(self) -> str:
+        return f"StreamFunction({self.function_id}:{self.name})"
+
+
+@dataclass
+class FunctionCatalog:
+    """The system-wide set of pre-defined stream processing functions.
+
+    The catalog is deterministic: the same parameters always generate the
+    same functions, so seeded experiments are reproducible.
+
+    Args:
+        size: Number of functions to generate (paper default: 80).
+        categories: ``(name, selectivity)`` pairs cycled over while
+            generating; defaults to :data:`DEFAULT_CATEGORIES`.
+        num_formats: Size of the shared stream-format universe.  Every
+            function's interface spans the whole universe; individual
+            components may narrow their accepted input formats (see
+            ``repro.discovery.deployment``).
+    """
+
+    size: int = 80
+    categories: Sequence[Tuple[str, float]] = DEFAULT_CATEGORIES
+    num_formats: int = 3
+    _functions: List[StreamFunction] = field(default_factory=list, repr=False)
+    _by_name: Dict[str, StreamFunction] = field(default_factory=dict, repr=False)
+    _formats: FrozenSet[str] = field(default_factory=frozenset, repr=False)
+
+    def __post_init__(self) -> None:
+        if self.size <= 0:
+            raise ValueError(f"catalog size must be positive, got {self.size}")
+        if self.num_formats <= 0:
+            raise ValueError("num_formats must be positive")
+        self._formats = frozenset(f"fmt{i}" for i in range(self.num_formats))
+        for function_id in range(self.size):
+            category, selectivity = self.categories[function_id % len(self.categories)]
+            index = function_id // len(self.categories)
+            name = f"{category}-{index:02d}"
+            function = StreamFunction(
+                function_id=function_id,
+                name=name,
+                category=category,
+                input_formats=self._formats,
+                output_formats=self._formats,
+                selectivity=selectivity,
+            )
+            self._functions.append(function)
+            self._by_name[name] = function
+
+    @property
+    def formats(self) -> FrozenSet[str]:
+        """The shared stream-format universe."""
+        return self._formats
+
+    def __len__(self) -> int:
+        return len(self._functions)
+
+    def __iter__(self):
+        return iter(self._functions)
+
+    def __getitem__(self, function_id: int) -> StreamFunction:
+        return self._functions[function_id]
+
+    def by_name(self, name: str) -> StreamFunction:
+        try:
+            return self._by_name[name]
+        except KeyError:
+            raise KeyError(f"unknown function {name!r}") from None
+
+    @property
+    def functions(self) -> Tuple[StreamFunction, ...]:
+        return tuple(self._functions)

@@ -1,0 +1,160 @@
+"""Stream processing nodes.
+
+Section 2.1: "The distributed stream processing system ... consists of a
+collection of stream processing nodes (v_i), each of which can be a single
+computer or a computer cluster."
+
+A :class:`Node` owns its end-system resource state: a fixed capacity vector
+and a running total of allocated resources.  All mutation goes through
+:meth:`Node.allocate` / :meth:`Node.release` so that observers (the
+hierarchical state manager, metrics) can hook every change via
+:meth:`Node.add_change_listener` — this is what drives the paper's
+threshold-triggered coarse-grain global state updates.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Tuple
+
+from repro.model.component import Component
+from repro.model.resources import ResourceVector
+
+#: Signature of node change listeners: listener(node) after every change.
+NodeListener = Callable[["Node"], None]
+
+
+class InsufficientResourcesError(RuntimeError):
+    """Raised when an allocation would drive a node's residual negative."""
+
+
+class Node:
+    """A stream processing node hosting components and owning resources.
+
+    Attributes:
+        node_id: Dense integer id within the overlay.
+        router_id: Id of the IP-layer router this node attaches to.
+        capacity: Total end-system resource capacity.
+    """
+
+    __slots__ = (
+        "node_id",
+        "router_id",
+        "capacity",
+        "_allocated",
+        "_components",
+        "_listeners",
+        "_alive",
+    )
+
+    def __init__(self, node_id: int, router_id: int, capacity: ResourceVector):
+        self.node_id = node_id
+        self.router_id = router_id
+        self.capacity = capacity
+        self._allocated = ResourceVector.zero(capacity.schema)
+        self._components: Dict[int, Component] = {}
+        self._listeners: List[NodeListener] = []
+        self._alive = True
+
+    # -- liveness (failure injection) ---------------------------------------
+
+    @property
+    def alive(self) -> bool:
+        """False while the node is crashed: its components are unusable and
+        it cannot admit resources.  Resource *bookkeeping* stays intact so
+        releases by terminating sessions balance exactly."""
+        return self._alive
+
+    def fail(self) -> None:
+        self._alive = False
+
+    def recover(self) -> None:
+        self._alive = True
+
+    # -- component hosting ------------------------------------------------
+
+    def host(self, component: Component) -> None:
+        """Register ``component`` as deployed on this node."""
+        if component.node_id != self.node_id:
+            raise ValueError(
+                f"component {component} is bound to node {component.node_id}, "
+                f"not {self.node_id}"
+            )
+        if component.component_id in self._components:
+            raise ValueError(f"component {component} already hosted")
+        self._components[component.component_id] = component
+
+    def unhost(self, component_id: int) -> Component:
+        """Remove a hosted component (the migration path); returns it."""
+        try:
+            return self._components.pop(component_id)
+        except KeyError:
+            raise ValueError(
+                f"component c{component_id} is not hosted on v{self.node_id}"
+            ) from None
+
+    @property
+    def components(self) -> Tuple[Component, ...]:
+        return tuple(self._components.values())
+
+    def hosts(self, component_id: int) -> bool:
+        return component_id in self._components
+
+    # -- resource state ----------------------------------------------------
+
+    @property
+    def allocated(self) -> ResourceVector:
+        return self._allocated
+
+    @property
+    def available(self) -> ResourceVector:
+        """Current available resources ``ra`` = capacity − allocated."""
+        return self.capacity - self._allocated
+
+    def can_allocate(self, amount: ResourceVector) -> bool:
+        return self._alive and self.available.covers(amount)
+
+    def allocate(self, amount: ResourceVector) -> None:
+        """Consume ``amount`` of this node's resources.
+
+        Raises:
+            InsufficientResourcesError: if the residual would be negative in
+                any dimension (Eq. 4's constraint), or the node is down.
+        """
+        if not self._alive:
+            raise InsufficientResourcesError(
+                f"node v{self.node_id} is down; cannot allocate {amount}"
+            )
+        if not self.available.covers(amount):
+            raise InsufficientResourcesError(
+                f"node v{self.node_id}: cannot allocate {amount}; "
+                f"available {self.available}"
+            )
+        self._allocated = self._allocated + amount
+        self._notify()
+
+    def release(self, amount: ResourceVector) -> None:
+        """Return ``amount`` previously taken via :meth:`allocate`."""
+        released = self._allocated - amount
+        if not released.is_nonnegative():
+            raise ValueError(
+                f"node v{self.node_id}: releasing {amount} exceeds "
+                f"allocated {self._allocated}"
+            )
+        self._allocated = released
+        self._notify()
+
+    # -- observation --------------------------------------------------------
+
+    def add_change_listener(self, listener: NodeListener) -> None:
+        """Invoke ``listener(self)`` after every resource change."""
+        self._listeners.append(listener)
+
+    def _notify(self) -> None:
+        for listener in self._listeners:
+            listener(self)
+
+    def __repr__(self) -> str:
+        return (
+            f"Node(v{self.node_id}, router={self.router_id}, "
+            f"available={self.available})"
+        )

@@ -1,0 +1,255 @@
+"""QoS metric schemas and vectors.
+
+The paper (Section 2.1) associates a QoS vector ``[q_1, ..., q_m]`` with every
+component and every (virtual) link, and accumulates QoS along a composed
+application.  Footnote 3 states the modelling convention this module
+implements:
+
+    "we assume that QoS metrics are additive and minimum-optimal.  For
+    non-additive metrics (e.g., loss rate), we can make them additive and
+    minimum-optimal using logarithm and inverse transformations."
+
+Concretely, a *delay*-like metric accumulates by plain summation, while a
+*loss-rate*-like metric accumulates multiplicatively (the probability a data
+unit survives a pipeline is the product of per-stage survival probabilities)
+and becomes additive in ``-log(1 - p)`` space.  Both kinds are
+minimum-optimal: smaller is better, and a user requirement is an upper bound.
+
+The schema abstraction keeps the rest of the system generic over the metric
+set; the default schema matches the paper's running examples (processing
+time and loss rate).
+"""
+
+from __future__ import annotations
+
+import enum
+import math
+from dataclasses import dataclass
+from typing import Iterable, Sequence, Tuple
+
+
+class MetricKind(enum.Enum):
+    """How a QoS metric accumulates along a composition."""
+
+    #: Accumulates by summation (e.g. processing delay, network delay).
+    ADDITIVE = "additive"
+    #: Accumulates multiplicatively on the *survival* probability
+    #: (e.g. loss rate); additive in ``-log(1 - p)`` space.
+    MULTIPLICATIVE_LOSS = "multiplicative_loss"
+
+
+@dataclass(frozen=True)
+class MetricSpec:
+    """Definition of one QoS metric.
+
+    Attributes:
+        name: Human-readable metric name, unique within a schema.
+        kind: Accumulation rule for the metric.
+        unit: Unit string used only for reporting.
+    """
+
+    name: str
+    kind: MetricKind
+    unit: str = ""
+
+
+class QoSSchema:
+    """An ordered, immutable set of :class:`MetricSpec` definitions.
+
+    All :class:`QoSVector` instances are interpreted against a schema; mixing
+    vectors from different schemas raises ``ValueError``.
+    """
+
+    __slots__ = ("_specs", "_names", "_kinds")
+
+    def __init__(self, specs: Iterable[MetricSpec]):
+        self._specs: Tuple[MetricSpec, ...] = tuple(specs)
+        names = [spec.name for spec in self._specs]
+        if len(set(names)) != len(names):
+            raise ValueError(f"duplicate metric names in schema: {names}")
+        self._names: Tuple[str, ...] = tuple(names)
+        self._kinds: Tuple[MetricKind, ...] = tuple(s.kind for s in self._specs)
+
+    @property
+    def specs(self) -> Tuple[MetricSpec, ...]:
+        return self._specs
+
+    @property
+    def names(self) -> Tuple[str, ...]:
+        return self._names
+
+    @property
+    def kinds(self) -> Tuple[MetricKind, ...]:
+        return self._kinds
+
+    def __len__(self) -> int:
+        return len(self._specs)
+
+    def index_of(self, name: str) -> int:
+        """Return the position of metric ``name``, raising on unknown names."""
+        try:
+            return self._names.index(name)
+        except ValueError:
+            raise KeyError(f"unknown QoS metric {name!r}; schema has {self._names}") from None
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, QoSSchema) and self._specs == other._specs
+
+    def __hash__(self) -> int:
+        return hash(self._specs)
+
+    def __repr__(self) -> str:
+        return f"QoSSchema({', '.join(self._names)})"
+
+
+#: The paper's running metric set: per-stage processing/network delay in
+#: milliseconds, and data-unit loss rate as a probability in [0, 1).
+DEFAULT_QOS_SCHEMA = QoSSchema(
+    [
+        MetricSpec("delay", MetricKind.ADDITIVE, "ms"),
+        MetricSpec("loss_rate", MetricKind.MULTIPLICATIVE_LOSS, "fraction"),
+    ]
+)
+
+#: Loss rates at or above this value are treated as total loss; the additive
+#: transform diverges at p = 1 so we clamp slightly below.
+_MAX_LOSS = 1.0 - 1e-12
+
+
+def _check_same_schema(a: "QoSVector", b: "QoSVector") -> None:
+    if a.schema != b.schema:
+        raise ValueError(f"QoS schema mismatch: {a.schema!r} vs {b.schema!r}")
+
+
+class QoSVector:
+    """An immutable vector of QoS metric values against a schema.
+
+    Supports accumulation (:meth:`combine`), requirement checks
+    (:meth:`satisfies`), and the additive-space transform used by the ACP
+    risk function (:meth:`additive_values`).
+    """
+
+    __slots__ = ("_schema", "_values")
+
+    def __init__(self, schema: QoSSchema, values: Sequence[float]):
+        values = tuple(float(v) for v in values)
+        if len(values) != len(schema):
+            raise ValueError(
+                f"expected {len(schema)} values for schema {schema!r}, got {len(values)}"
+            )
+        for spec, value in zip(schema.specs, values):
+            if value < 0.0:
+                raise ValueError(f"negative QoS value {value} for metric {spec.name!r}")
+            if spec.kind is MetricKind.MULTIPLICATIVE_LOSS and value >= 1.0:
+                raise ValueError(
+                    f"loss-kind metric {spec.name!r} must be in [0, 1), got {value}"
+                )
+        self._schema = schema
+        self._values = values
+
+    @classmethod
+    def zero(cls, schema: QoSSchema = DEFAULT_QOS_SCHEMA) -> "QoSVector":
+        """The identity element of :meth:`combine`: zero delay, zero loss."""
+        return cls(schema, [0.0] * len(schema))
+
+    @property
+    def schema(self) -> QoSSchema:
+        return self._schema
+
+    @property
+    def values(self) -> Tuple[float, ...]:
+        return self._values
+
+    def __getitem__(self, name: str) -> float:
+        return self._values[self._schema.index_of(name)]
+
+    def combine(self, other: "QoSVector") -> "QoSVector":
+        """Accumulate ``other`` after ``self`` along a composition.
+
+        Additive metrics sum; loss metrics compose as
+        ``1 - (1 - a)(1 - b)``.
+        """
+        _check_same_schema(self, other)
+        out = []
+        for kind, a, b in zip(self._schema.kinds, self._values, other._values):
+            if kind is MetricKind.ADDITIVE:
+                out.append(a + b)
+            else:
+                out.append(1.0 - (1.0 - a) * (1.0 - b))
+        return QoSVector(self._schema, out)
+
+    def satisfies(self, requirement: "QoSVector") -> bool:
+        """True iff every metric is within the (upper-bound) requirement."""
+        _check_same_schema(self, requirement)
+        return all(a <= r + 1e-12 for a, r in zip(self._values, requirement._values))
+
+    def additive_values(self) -> Tuple[float, ...]:
+        """Metric values mapped into the additive space (footnote 3).
+
+        Additive metrics pass through; loss metrics map to ``-log(1 - p)``.
+        The ACP risk function (Eq. 9) compares accumulated QoS against the
+        requirement in this space so that ratios are meaningful for all
+        metric kinds.
+        """
+        out = []
+        for kind, value in zip(self._schema.kinds, self._values):
+            if kind is MetricKind.ADDITIVE:
+                out.append(value)
+            else:
+                out.append(-math.log1p(-min(value, _MAX_LOSS)))
+        return tuple(out)
+
+    def utilization(self, requirement: "QoSVector") -> Tuple[float, ...]:
+        """Per-metric fraction of the requirement consumed, in additive space.
+
+        A value of 1.0 means the metric exactly meets its bound; > 1.0 means
+        the bound is violated.  Metrics with a zero (or effectively
+        unconstrained) requirement report 0.0 when the accumulated value is
+        also zero and ``inf`` otherwise.
+        """
+        _check_same_schema(self, requirement)
+        accumulated = self.additive_values()
+        bounds = requirement.additive_values()
+        out = []
+        for acc, bound in zip(accumulated, bounds):
+            if bound <= 0.0:
+                out.append(0.0 if acc <= 0.0 else math.inf)
+            else:
+                out.append(acc / bound)
+        return tuple(out)
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, QoSVector)
+            and self._schema == other._schema
+            and self._values == other._values
+        )
+
+    def __hash__(self) -> int:
+        return hash((self._schema, self._values))
+
+    def __repr__(self) -> str:
+        parts = ", ".join(
+            f"{name}={value:g}" for name, value in zip(self._schema.names, self._values)
+        )
+        return f"QoSVector({parts})"
+
+
+def elementwise_max(a: QoSVector, b: QoSVector) -> QoSVector:
+    """Per-metric maximum of two vectors.
+
+    Used for worst-path accumulation over DAG compositions: at a join, the
+    QoS "seen" by the downstream stage is bounded by the worse branch per
+    metric.  Valid for both metric kinds because both additive transforms
+    are monotone.
+    """
+    _check_same_schema(a, b)
+    return QoSVector(a.schema, [max(x, y) for x, y in zip(a.values, b.values)])
+
+
+def combine_all(vectors: Iterable[QoSVector], schema: QoSSchema = DEFAULT_QOS_SCHEMA) -> QoSVector:
+    """Fold :meth:`QoSVector.combine` over ``vectors`` (empty → zero)."""
+    total = QoSVector.zero(schema)
+    for vector in vectors:
+        total = total.combine(vector)
+    return total

@@ -1,0 +1,189 @@
+"""End-system resource vectors.
+
+Section 2.1 associates a *resource availability vector* ``[ra_1, ..., ra_n]``
+with every component's host node (e.g. CPU, memory), and Section 2.3 defines
+
+* ``R^ci = [r_1, ..., r_n]`` — the resources a request requires from the node
+  hosting component *ci*, and
+* ``rr^ci = ra^ci - r^ci`` — the *residual* resources left after subtracting
+  the requirement (footnote 5), which feed the congestion aggregation metric
+  of Eq. 1.
+
+This module provides the small immutable vector type used for all of those,
+plus the schema describing what each dimension means.  Bandwidth is a scalar
+attached to links and is handled separately (see ``repro.topology``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Sequence, Tuple
+
+
+@dataclass(frozen=True)
+class ResourceSpec:
+    """Definition of one end-system resource dimension."""
+
+    name: str
+    unit: str = ""
+
+
+class ResourceSchema:
+    """An ordered, immutable set of resource dimensions."""
+
+    __slots__ = ("_specs", "_names")
+
+    def __init__(self, specs: Iterable[ResourceSpec]):
+        self._specs: Tuple[ResourceSpec, ...] = tuple(specs)
+        names = [spec.name for spec in self._specs]
+        if len(set(names)) != len(names):
+            raise ValueError(f"duplicate resource names in schema: {names}")
+        self._names: Tuple[str, ...] = tuple(names)
+
+    @property
+    def specs(self) -> Tuple[ResourceSpec, ...]:
+        return self._specs
+
+    @property
+    def names(self) -> Tuple[str, ...]:
+        return self._names
+
+    def __len__(self) -> int:
+        return len(self._specs)
+
+    def index_of(self, name: str) -> int:
+        try:
+            return self._names.index(name)
+        except ValueError:
+            raise KeyError(
+                f"unknown resource {name!r}; schema has {self._names}"
+            ) from None
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, ResourceSchema) and self._specs == other._specs
+
+    def __hash__(self) -> int:
+        return hash(self._specs)
+
+    def __repr__(self) -> str:
+        return f"ResourceSchema({', '.join(self._names)})"
+
+
+#: The paper's running example resources: CPU (abstract capacity units) and
+#: memory (megabytes).
+DEFAULT_RESOURCE_SCHEMA = ResourceSchema(
+    [
+        ResourceSpec("cpu", "units"),
+        ResourceSpec("memory", "MB"),
+    ]
+)
+
+
+def _check_same_schema(a: "ResourceVector", b: "ResourceVector") -> None:
+    if a.schema != b.schema:
+        raise ValueError(f"resource schema mismatch: {a.schema!r} vs {b.schema!r}")
+
+
+class ResourceVector:
+    """An immutable vector of per-dimension resource quantities.
+
+    Arithmetic is element-wise.  Negative intermediate values are permitted
+    (a residual vector with a negative entry is exactly how Eq. 4's
+    infeasibility is detected) but :meth:`is_nonnegative` flags them.
+    """
+
+    __slots__ = ("_schema", "_values")
+
+    def __init__(self, schema: ResourceSchema, values: Sequence[float]):
+        values = tuple(float(v) for v in values)
+        if len(values) != len(schema):
+            raise ValueError(
+                f"expected {len(schema)} values for schema {schema!r}, got {len(values)}"
+            )
+        self._schema = schema
+        self._values = values
+
+    @classmethod
+    def zero(cls, schema: ResourceSchema = DEFAULT_RESOURCE_SCHEMA) -> "ResourceVector":
+        return cls(schema, [0.0] * len(schema))
+
+    @property
+    def schema(self) -> ResourceSchema:
+        return self._schema
+
+    @property
+    def values(self) -> Tuple[float, ...]:
+        return self._values
+
+    def __getitem__(self, name: str) -> float:
+        return self._values[self._schema.index_of(name)]
+
+    def __add__(self, other: "ResourceVector") -> "ResourceVector":
+        _check_same_schema(self, other)
+        return ResourceVector(
+            self._schema, [a + b for a, b in zip(self._values, other._values)]
+        )
+
+    def __sub__(self, other: "ResourceVector") -> "ResourceVector":
+        _check_same_schema(self, other)
+        return ResourceVector(
+            self._schema, [a - b for a, b in zip(self._values, other._values)]
+        )
+
+    def scaled(self, factor: float) -> "ResourceVector":
+        return ResourceVector(self._schema, [v * factor for v in self._values])
+
+    def is_nonnegative(self, tolerance: float = 1e-9) -> bool:
+        """True iff every dimension is ≥ 0 (up to ``tolerance``)."""
+        return all(v >= -tolerance for v in self._values)
+
+    def covers(self, requirement: "ResourceVector", tolerance: float = 1e-9) -> bool:
+        """True iff ``self`` has at least ``requirement`` in every dimension.
+
+        This is Eq. 4's feasibility test: residual = self − requirement must
+        be non-negative.
+        """
+        _check_same_schema(self, requirement)
+        return all(
+            a >= r - tolerance for a, r in zip(self._values, requirement._values)
+        )
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, ResourceVector)
+            and self._schema == other._schema
+            and self._values == other._values
+        )
+
+    def __hash__(self) -> int:
+        return hash((self._schema, self._values))
+
+    def __repr__(self) -> str:
+        parts = ", ".join(
+            f"{name}={value:g}" for name, value in zip(self._schema.names, self._values)
+        )
+        return f"ResourceVector({parts})"
+
+
+def congestion_terms(
+    required: ResourceVector, available: ResourceVector
+) -> Tuple[float, ...]:
+    """Per-dimension congestion contributions ``r_k / (rr_k + r_k)``.
+
+    With residual ``rr = available − required`` this simplifies to
+    ``required_k / available_k``, which is exactly the worked example of the
+    paper's Fig. 4 (e.g. a 20 MB memory requirement on a node with 50 MB
+    available contributes 20/50).  Dimensions with no requirement contribute
+    0 even on saturated nodes; a requirement against zero availability
+    contributes ``inf``.
+    """
+    _check_same_schema(required, available)
+    terms = []
+    for req, avail in zip(required.values, available.values):
+        if req <= 0.0:
+            terms.append(0.0)
+        elif avail <= 0.0:
+            terms.append(float("inf"))
+        else:
+            terms.append(req / avail)
+    return tuple(terms)

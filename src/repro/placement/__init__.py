@@ -1,0 +1,9 @@
+"""Dynamic component placement (the paper's future-work extension 3)."""
+
+from repro.placement.migration import (
+    ComponentMigrationManager,
+    MigrationPolicy,
+    MigrationRecord,
+)
+
+__all__ = ["ComponentMigrationManager", "MigrationPolicy", "MigrationRecord"]

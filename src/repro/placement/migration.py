@@ -1,0 +1,181 @@
+"""Dynamic component migration (the paper's future-work direction 3).
+
+Section 6: "Future research directions for optimal component composition
+include ... (3) integrating dynamic component placement (or migration)
+with the component composition system."  Footnote 1 already allows it:
+"Components can be dynamically migrated among nodes.  The component
+composition operates based on the current component placement."
+
+:class:`ComponentMigrationManager` implements a watermark-based policy: at
+each round, nodes whose worst-dimension utilisation exceeds the *high*
+watermark shed one deployed component instance to the least-loaded node
+below the *low* watermark.  Migration moves the deployable instance — it
+changes which placements *future* compositions can pick; sessions already
+running keep their resources where they were admitted and drain naturally
+(exactly footnote 1's semantics: composition operates on the current
+placement).
+
+Each migration costs two control messages (deregistration at the source,
+registration at the target), surfaced via :attr:`migration_messages` so
+experiments can price the mechanism.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from repro.discovery.registry import ComponentRegistry
+from repro.model.component import Component
+from repro.model.node import Node
+from repro.model.qos_model import LoadDependentQoSModel
+from repro.topology.overlay import OverlayNetwork
+
+
+@dataclass(frozen=True)
+class MigrationRecord:
+    """One completed migration (diagnostics / experiment series)."""
+
+    time: float
+    component_id: int
+    function_name: str
+    from_node: int
+    to_node: int
+
+
+@dataclass(frozen=True)
+class MigrationPolicy:
+    """Watermark policy knobs.
+
+    Attributes:
+        high_watermark: Source threshold — nodes whose worst-dimension
+            utilisation exceeds this shed components.
+        low_watermark: Target ceiling — only nodes at or below this
+            utilisation receive components.
+        max_migrations_per_round: Round-level cap, keeping churn bounded.
+    """
+
+    high_watermark: float = 0.75
+    low_watermark: float = 0.45
+    max_migrations_per_round: int = 8
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.low_watermark < self.high_watermark <= 1.0:
+            raise ValueError(
+                "need 0 < low_watermark < high_watermark <= 1, got "
+                f"{self.low_watermark}, {self.high_watermark}"
+            )
+        if self.max_migrations_per_round < 1:
+            raise ValueError("max_migrations_per_round must be >= 1")
+
+
+def _utilization(node: Node) -> float:
+    return LoadDependentQoSModel.utilization(node.available, node.capacity)
+
+
+class ComponentMigrationManager:
+    """Watermark-driven migration of deployed component instances."""
+
+    def __init__(
+        self,
+        network: OverlayNetwork,
+        registry: ComponentRegistry,
+        policy: MigrationPolicy = MigrationPolicy(),
+        period_s: float = 120.0,
+    ):
+        if period_s <= 0.0:
+            raise ValueError(f"period must be positive, got {period_s}")
+        self.network = network
+        self.registry = registry
+        self.policy = policy
+        self.period_s = period_s
+        self._records: List[MigrationRecord] = []
+        #: control messages spent (2 per migration)
+        self.migration_messages = 0
+
+    @property
+    def records(self) -> Tuple[MigrationRecord, ...]:
+        return tuple(self._records)
+
+    @property
+    def migration_count(self) -> int:
+        return len(self._records)
+
+    # -- the policy ---------------------------------------------------------
+
+    def _pick_component_to_shed(self, node: Node) -> Optional[Component]:
+        """Shed the component whose function is best covered elsewhere.
+
+        Moving an instance of a well-replicated function preserves local
+        diversity; a node's *only* instance of a function in the whole
+        system is never moved away from a hot node pre-emptively (it would
+        just heat another node without helping the hot one's pool).
+        """
+        best: Optional[Component] = None
+        best_coverage = 1  # require at least one other instance elsewhere
+        for component in node.components:
+            coverage = self.registry.candidate_count(component.function)
+            if coverage > best_coverage:
+                best = component
+                best_coverage = coverage
+        return best
+
+    def _pick_target(self, component: Component) -> Optional[int]:
+        """Least-loaded node below the low watermark not already providing
+        the component's function."""
+        best_node: Optional[int] = None
+        best_load = self.policy.low_watermark
+        for node in self.network.nodes:
+            if node.node_id == component.node_id:
+                continue
+            if any(
+                hosted.function.function_id == component.function.function_id
+                for hosted in node.components
+            ):
+                continue
+            load = _utilization(node)
+            if load < best_load:
+                best_load = load
+                best_node = node.node_id
+        return best_node
+
+    def run_round(self, now: float = 0.0) -> List[MigrationRecord]:
+        """One migration round; returns the migrations performed."""
+        hot_nodes = sorted(
+            (node for node in self.network.nodes
+             if _utilization(node) > self.policy.high_watermark),
+            key=_utilization,
+            reverse=True,
+        )
+        performed: List[MigrationRecord] = []
+        for node in hot_nodes:
+            if len(performed) >= self.policy.max_migrations_per_round:
+                break
+            component = self._pick_component_to_shed(node)
+            if component is None:
+                continue
+            target = self._pick_target(component)
+            if target is None:
+                continue
+            performed.append(self._migrate(now, component, target))
+        self._records.extend(performed)
+        return performed
+
+    def _migrate(
+        self, now: float, component: Component, target_node_id: int
+    ) -> MigrationRecord:
+        source = self.network.node(component.node_id)
+        target = self.network.node(target_node_id)
+        moved = dataclasses.replace(component, node_id=target_node_id)
+        source.unhost(component.component_id)
+        self.registry.replace(moved)
+        target.host(moved)
+        self.migration_messages += 2  # deregister + register
+        return MigrationRecord(
+            time=now,
+            component_id=component.component_id,
+            function_name=component.function.name,
+            from_node=source.node_id,
+            to_node=target_node_id,
+        )

@@ -1,0 +1,54 @@
+"""Event-driven simulation testbed (paper Section 4.1).
+
+System assembly, workload generation, the event engine, metrics, and the
+end-to-end simulator that the experiment harness drives.
+"""
+
+from repro.simulation.failures import FailureEvent, FailureInjector
+from repro.simulation.engine import (
+    EventScheduler,
+    PeriodicTask,
+    ScheduledEvent,
+    SchedulerError,
+)
+from repro.simulation.metrics import (
+    MetricsCollector,
+    RequestRecord,
+    SimulationReport,
+    WindowSample,
+)
+from repro.simulation.simulator import StreamProcessingSimulator
+from repro.simulation.system import StreamSystem, SystemConfig, build_system
+from repro.simulation.workload import (
+    QOS_LEVELS,
+    QoSLevel,
+    RateSchedule,
+    RecordingWorkload,
+    ReplayWorkload,
+    WorkloadGenerator,
+    WorkloadProfile,
+)
+
+__all__ = [
+    "FailureInjector",
+    "FailureEvent",
+    "EventScheduler",
+    "ScheduledEvent",
+    "PeriodicTask",
+    "SchedulerError",
+    "MetricsCollector",
+    "RequestRecord",
+    "SimulationReport",
+    "WindowSample",
+    "StreamProcessingSimulator",
+    "StreamSystem",
+    "SystemConfig",
+    "build_system",
+    "WorkloadGenerator",
+    "RecordingWorkload",
+    "ReplayWorkload",
+    "WorkloadProfile",
+    "RateSchedule",
+    "QoSLevel",
+    "QOS_LEVELS",
+]

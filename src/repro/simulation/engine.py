@@ -1,0 +1,174 @@
+"""Event-driven simulation engine.
+
+The paper's evaluation ran on "an event-driven optimal component
+composition simulator in C++" (Section 4.1).  This is its Python
+equivalent: a binary-heap future event list with a simulated clock,
+one-shot and periodic scheduling, cancellation, and deterministic
+tie-breaking (events at equal times fire in scheduling order).
+
+The engine is deliberately minimal — callbacks, not process coroutines —
+because composition is instantaneous relative to session timescales: every
+domain action (request arrival, session teardown, state sampling,
+aggregation round) is a single callback.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+import math
+from typing import Callable, List, Optional
+
+
+class SchedulerError(RuntimeError):
+    """Raised on scheduling into the past or similar misuse."""
+
+
+class ScheduledEvent:
+    """Handle to a scheduled callback; supports cancellation."""
+
+    __slots__ = ("time", "seq", "action", "name", "cancelled")
+
+    def __init__(self, time: float, seq: int, action: Callable[[], None], name: str):
+        self.time = time
+        self.seq = seq
+        self.action = action
+        self.name = name
+        self.cancelled = False
+
+    def cancel(self) -> None:
+        """Prevent the event from firing (safe after it fired: no-op)."""
+        self.cancelled = True
+
+    def __lt__(self, other: "ScheduledEvent") -> bool:
+        return (self.time, self.seq) < (other.time, other.seq)
+
+    def __repr__(self) -> str:
+        state = "cancelled" if self.cancelled else "pending"
+        return f"ScheduledEvent({self.name!r} @ {self.time:g}s, {state})"
+
+
+class PeriodicTask:
+    """Handle to a repeating event; cancellation stops future firings."""
+
+    __slots__ = ("interval", "name", "cancelled", "_current")
+
+    def __init__(self, interval: float, name: str):
+        self.interval = interval
+        self.name = name
+        self.cancelled = False
+        self._current: Optional[ScheduledEvent] = None
+
+    def cancel(self) -> None:
+        self.cancelled = True
+        if self._current is not None:
+            self._current.cancel()
+
+
+class EventScheduler:
+    """A future event list with a simulated clock (seconds)."""
+
+    def __init__(self) -> None:
+        self._heap: List[ScheduledEvent] = []
+        self._seq = itertools.count()
+        self._now = 0.0
+        #: events executed since construction
+        self.processed = 0
+
+    @property
+    def now(self) -> float:
+        return self._now
+
+    def __len__(self) -> int:
+        return sum(1 for event in self._heap if not event.cancelled)
+
+    # -- scheduling ----------------------------------------------------------
+
+    def schedule_at(
+        self, time: float, action: Callable[[], None], name: str = ""
+    ) -> ScheduledEvent:
+        if not math.isfinite(time):
+            raise SchedulerError(f"event time must be finite, got {time}")
+        if time < self._now - 1e-12:
+            raise SchedulerError(
+                f"cannot schedule {name!r} at {time:g}s; clock is at {self._now:g}s"
+            )
+        event = ScheduledEvent(time, next(self._seq), action, name)
+        heapq.heappush(self._heap, event)
+        return event
+
+    def schedule_after(
+        self, delay: float, action: Callable[[], None], name: str = ""
+    ) -> ScheduledEvent:
+        if delay < 0.0:
+            raise SchedulerError(f"negative delay {delay} for {name!r}")
+        return self.schedule_at(self._now + delay, action, name)
+
+    def schedule_periodic(
+        self,
+        interval: float,
+        action: Callable[[], None],
+        name: str = "",
+        first_at: Optional[float] = None,
+    ) -> PeriodicTask:
+        """Fire ``action`` every ``interval`` seconds until cancelled.
+
+        The first firing defaults to ``now + interval``.
+        """
+        if interval <= 0.0:
+            raise SchedulerError(f"interval must be positive, got {interval}")
+        task = PeriodicTask(interval, name)
+
+        def fire() -> None:
+            if task.cancelled:
+                return
+            action()
+            if not task.cancelled:
+                task._current = self.schedule_after(interval, fire, name)
+
+        start = self._now + interval if first_at is None else first_at
+        task._current = self.schedule_at(start, fire, name)
+        return task
+
+    # -- execution ------------------------------------------------------------
+
+    def step(self) -> bool:
+        """Run the next pending event; False when the list is empty."""
+        while self._heap:
+            event = heapq.heappop(self._heap)
+            if event.cancelled:
+                continue
+            self._now = event.time
+            self.processed += 1
+            event.action()
+            return True
+        return False
+
+    def run_until(self, end_time: float) -> None:
+        """Run every event with time ≤ ``end_time``, then set the clock to it.
+
+        Events an executed callback schedules within the horizon also run.
+        """
+        if end_time < self._now:
+            raise SchedulerError(
+                f"horizon {end_time:g}s is before the clock {self._now:g}s"
+            )
+        while self._heap:
+            head = self._heap[0]
+            if head.cancelled:
+                heapq.heappop(self._heap)
+                continue
+            if head.time > end_time:
+                break
+            self.step()
+        self._now = end_time
+
+    def run(self, max_events: Optional[int] = None) -> int:
+        """Run until the event list drains (or ``max_events``); returns the
+        number of events executed by this call."""
+        executed = 0
+        while self.step():
+            executed += 1
+            if max_events is not None and executed >= max_events:
+                break
+        return executed

@@ -1,0 +1,150 @@
+"""Node failure injection.
+
+Section 2.1 motivates the overlay mesh with failure resilience ("For
+failure resilience, we connect distributed nodes using application-level
+overlay links into an overlay mesh"); this module supplies the failures
+that resilience is measured against.
+
+:class:`FailureInjector` crashes and recovers stream processing nodes
+stochastically.  A crash:
+
+* terminates every running session that placed a component on the node
+  (their resources are released everywhere — the bookkeeping view of
+  "the application went down");
+* makes the node's components unusable for composition (composers check
+  :attr:`Node.alive`) and the node unable to admit resources;
+* removes the node from overlay routing, so virtual links re-route around
+  it (or become unavailable if it was a cut vertex).
+
+Recovery reverses the last two.  Per round, each alive node fails with
+probability ``fail_probability`` and each crashed node recovers with
+``recover_probability`` — a discrete-time MTBF/MTTR model matched to the
+round period.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import List, Optional, Set, Tuple
+
+from repro.middleware.session import SessionManager
+from repro.topology.overlay import OverlayNetwork
+from repro.topology.routing import OverlayRouter
+
+
+@dataclass(frozen=True)
+class FailureEvent:
+    """One crash or recovery (diagnostics / experiment series)."""
+
+    time: float
+    node_id: int
+    kind: str  # "crash" | "recover"
+    sessions_killed: int = 0
+
+
+class FailureInjector:
+    """Stochastic crash/recovery process over overlay nodes."""
+
+    def __init__(
+        self,
+        network: OverlayNetwork,
+        router: OverlayRouter,
+        fail_probability: float = 0.01,
+        recover_probability: float = 0.5,
+        period_s: float = 60.0,
+        max_concurrent_failures: Optional[int] = None,
+        rng: Optional[random.Random] = None,
+    ):
+        if not 0.0 <= fail_probability <= 1.0:
+            raise ValueError(f"fail_probability must be in [0, 1]")
+        if not 0.0 < recover_probability <= 1.0:
+            raise ValueError(f"recover_probability must be in (0, 1]")
+        if period_s <= 0.0:
+            raise ValueError(f"period must be positive, got {period_s}")
+        self.network = network
+        self.router = router
+        self.fail_probability = fail_probability
+        self.recover_probability = recover_probability
+        self.period_s = period_s
+        self.max_concurrent_failures = (
+            max_concurrent_failures
+            if max_concurrent_failures is not None
+            else max(1, len(network) // 10)
+        )
+        self.rng = rng or random.Random()
+        self._down: Set[int] = set()
+        self._events: List[FailureEvent] = []
+        #: sessions terminated by crashes since construction
+        self.sessions_killed = 0
+
+    @property
+    def down_nodes(self) -> frozenset:
+        return frozenset(self._down)
+
+    @property
+    def events(self) -> Tuple[FailureEvent, ...]:
+        return tuple(self._events)
+
+    # -- explicit control (tests, targeted experiments) -----------------------
+
+    def crash(
+        self, node_id: int, sessions: Optional[SessionManager] = None,
+        now: float = 0.0,
+    ) -> FailureEvent:
+        """Crash one node immediately."""
+        node = self.network.node(node_id)
+        if not node.alive:
+            raise ValueError(f"node v{node_id} is already down")
+        killed = 0
+        if sessions is not None:
+            killed = sessions.terminate_sessions_using_node(node_id)
+        node.fail()
+        self._down.add(node_id)
+        self.router.set_down_nodes(self._down)
+        self.sessions_killed += killed
+        event = FailureEvent(now, node_id, "crash", killed)
+        self._events.append(event)
+        return event
+
+    def recover(self, node_id: int, now: float = 0.0) -> FailureEvent:
+        """Recover one crashed node immediately."""
+        if node_id not in self._down:
+            raise ValueError(f"node v{node_id} is not down")
+        self.network.node(node_id).recover()
+        self._down.discard(node_id)
+        self.router.set_down_nodes(self._down)
+        event = FailureEvent(now, node_id, "recover")
+        self._events.append(event)
+        return event
+
+    # -- the stochastic round ----------------------------------------------------
+
+    def run_round(
+        self, sessions: Optional[SessionManager] = None, now: float = 0.0
+    ) -> List[FailureEvent]:
+        """One period of the crash/recovery process."""
+        events: List[FailureEvent] = []
+        # recoveries first (a node cannot crash and recover the same round)
+        for node_id in sorted(self._down):
+            if self.rng.random() < self.recover_probability:
+                self.network.node(node_id).recover()
+                self._down.discard(node_id)
+                events.append(FailureEvent(now, node_id, "recover"))
+        for node in self.network.nodes:
+            if not node.alive or node.node_id in self._down:
+                continue
+            if len(self._down) >= self.max_concurrent_failures:
+                break
+            if self.rng.random() < self.fail_probability:
+                killed = 0
+                if sessions is not None:
+                    killed = sessions.terminate_sessions_using_node(node.node_id)
+                node.fail()
+                self._down.add(node.node_id)
+                self.sessions_killed += killed
+                events.append(FailureEvent(now, node.node_id, "crash", killed))
+        if events:
+            self.router.set_down_nodes(self._down)
+        self._events.extend(events)
+        return events

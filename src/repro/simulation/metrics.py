@@ -1,0 +1,179 @@
+"""Metrics: composition success rate and message-overhead accounting.
+
+The evaluation's two y-axes are
+
+* **composition success rate** μ(t) = SuccessNum(t) / RequestNum(t) over a
+  sampling period Δt (Section 3.4; the adaptability experiment of Fig. 8
+  samples every 5 minutes), and
+* **overhead** in messages per minute — probe messages plus, for ACP,
+  global-state update and aggregation messages (Section 4.2, Fig. 6(b)).
+
+:class:`MetricsCollector` records one :class:`RequestRecord` per
+composition attempt and produces both windowed series and whole-run
+summaries (:class:`SimulationReport`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+
+@dataclass(frozen=True)
+class RequestRecord:
+    """Outcome of one composition attempt, as the collector sees it."""
+
+    request_id: int
+    arrival_time: float
+    success: bool
+    probe_messages: int
+    setup_messages: int
+    explored: int
+    phi: Optional[float] = None
+    failure_reason: Optional[str] = None
+
+
+@dataclass(frozen=True)
+class WindowSample:
+    """One sampling-period observation (drives Fig. 8's time series)."""
+
+    time: float
+    success_rate: float
+    requests: int
+    probing_ratio: Optional[float] = None
+
+
+@dataclass
+class SimulationReport:
+    """Whole-run summary for one algorithm under one workload."""
+
+    algorithm: str
+    duration_s: float
+    total_requests: int
+    successes: int
+    probe_messages: int
+    setup_messages: int
+    state_update_messages: int
+    aggregation_messages: int
+    failure_reasons: Dict[str, int]
+    window_samples: Tuple[WindowSample, ...]
+    mean_phi: Optional[float]
+
+    @property
+    def success_rate(self) -> float:
+        """Average success rate over all requests of the run."""
+        if self.total_requests == 0:
+            return 0.0
+        return self.successes / self.total_requests
+
+    @property
+    def duration_min(self) -> float:
+        return self.duration_s / 60.0
+
+    @property
+    def probe_messages_per_min(self) -> float:
+        return self.probe_messages / self.duration_min if self.duration_s else 0.0
+
+    @property
+    def state_messages_per_min(self) -> float:
+        if not self.duration_s:
+            return 0.0
+        return (
+            self.state_update_messages + self.aggregation_messages
+        ) / self.duration_min
+
+    @property
+    def overhead_per_min(self) -> float:
+        """The Fig. 6(b)/7(b) overhead figure: probes plus (for ACP)
+        global-state maintenance messages, per simulated minute."""
+        return self.probe_messages_per_min + self.state_messages_per_min
+
+
+class MetricsCollector:
+    """Accumulates per-request records and periodic window samples."""
+
+    def __init__(self) -> None:
+        self._records: List[RequestRecord] = []
+        self._samples: List[WindowSample] = []
+        self._window_success = 0
+        self._window_total = 0
+
+    # -- per-request path -----------------------------------------------------
+
+    def record(self, record: RequestRecord) -> None:
+        self._records.append(record)
+        self._window_total += 1
+        if record.success:
+            self._window_success += 1
+
+    @property
+    def records(self) -> Tuple[RequestRecord, ...]:
+        return tuple(self._records)
+
+    # -- windowed sampling -------------------------------------------------------
+
+    def close_window(
+        self, time: float, probing_ratio: Optional[float] = None
+    ) -> WindowSample:
+        """End the current sampling period and start a new one.
+
+        Returns the sample for the closed window; a window with no requests
+        reports the previous window's rate (the system was idle, not
+        failing), or 1.0 at the very start.
+        """
+        if self._window_total > 0:
+            rate = self._window_success / self._window_total
+        elif self._samples:
+            rate = self._samples[-1].success_rate
+        else:
+            rate = 1.0
+        sample = WindowSample(time, rate, self._window_total, probing_ratio)
+        self._samples.append(sample)
+        self._window_success = 0
+        self._window_total = 0
+        return sample
+
+    @property
+    def window_samples(self) -> Tuple[WindowSample, ...]:
+        return tuple(self._samples)
+
+    # -- summaries ------------------------------------------------------------------
+
+    def success_count(self) -> int:
+        return sum(1 for record in self._records if record.success)
+
+    def success_rate(self) -> float:
+        if not self._records:
+            return 0.0
+        return self.success_count() / len(self._records)
+
+    def failure_reasons(self) -> Dict[str, int]:
+        reasons: Dict[str, int] = {}
+        for record in self._records:
+            if not record.success and record.failure_reason:
+                reasons[record.failure_reason] = (
+                    reasons.get(record.failure_reason, 0) + 1
+                )
+        return reasons
+
+    def build_report(
+        self,
+        algorithm: str,
+        duration_s: float,
+        state_update_messages: int = 0,
+        aggregation_messages: int = 0,
+    ) -> SimulationReport:
+        phis = [r.phi for r in self._records if r.success and r.phi is not None]
+        return SimulationReport(
+            algorithm=algorithm,
+            duration_s=duration_s,
+            total_requests=len(self._records),
+            successes=self.success_count(),
+            probe_messages=sum(r.probe_messages for r in self._records),
+            setup_messages=sum(r.setup_messages for r in self._records),
+            state_update_messages=state_update_messages,
+            aggregation_messages=aggregation_messages,
+            failure_reasons=self.failure_reasons(),
+            window_samples=self.window_samples,
+            mean_phi=sum(phis) / len(phis) if phis else None,
+        )

@@ -1,0 +1,176 @@
+"""The end-to-end stream processing simulation.
+
+One :class:`StreamProcessingSimulator` runs one composition algorithm over
+one system under one workload, reproducing the paper's experimental loop:
+
+* Poisson request arrivals (time-varying rate supported);
+* composition via the session middleware's ``find`` (composer + admission);
+* sessions that hold their resources for 5–15 minutes and then close;
+* transient-reservation expiry sweeps (the probe-timeout path);
+* periodic success-rate sampling (Δt = 5 min by default), which also
+  drives the adaptive probing-ratio tuner when one is attached;
+* periodic virtual-link aggregation rounds with their message cost.
+
+``run`` returns a :class:`SimulationReport` with the whole-run success
+rate, message accounting, and the windowed time series Fig. 8 plots.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.core.acp import ACPComposer
+from repro.core.composer import Composer
+from repro.core.tuning import ProbingRatioTuner
+from repro.middleware.session import SessionManager
+from repro.placement.migration import ComponentMigrationManager
+from repro.simulation.failures import FailureInjector
+from repro.simulation.engine import EventScheduler
+from repro.simulation.metrics import MetricsCollector, RequestRecord, SimulationReport
+from repro.simulation.system import StreamSystem
+from repro.simulation.workload import WorkloadGenerator
+
+
+class StreamProcessingSimulator:
+    """Event-driven run of one algorithm under one workload."""
+
+    def __init__(
+        self,
+        system: StreamSystem,
+        composer: Composer,
+        workload: WorkloadGenerator,
+        sampling_period_s: float = 300.0,
+        tuner: Optional[ProbingRatioTuner] = None,
+        migration: Optional[ComponentMigrationManager] = None,
+        failures: Optional[FailureInjector] = None,
+    ):
+        if sampling_period_s <= 0.0:
+            raise ValueError(f"sampling period must be positive: {sampling_period_s}")
+        self.system = system
+        self.composer = composer
+        self.workload = workload
+        self.sampling_period_s = sampling_period_s
+        self.tuner = tuner
+        self.migration = migration
+        self.failures = failures
+        if tuner is not None:
+            if not isinstance(composer, ACPComposer):
+                raise ValueError("only the ACP composer accepts a probing-ratio tuner")
+            composer.attach_tuner(tuner)
+
+        self.scheduler = EventScheduler()
+        self.metrics = MetricsCollector()
+        self._pending_arrival = None
+        self.sessions = SessionManager(
+            composer, system.allocator, clock=lambda: self.scheduler.now
+        )
+        # composers read the simulated clock for reservation deadlines
+        composer.context.clock = lambda: self.scheduler.now
+
+    # -- event handlers ------------------------------------------------------
+
+    def _on_arrival(self) -> None:
+        now = self.scheduler.now
+        request = self.workload.make_request(now)
+        session_id, outcome = self.sessions.find(request)
+        phi = outcome.phi if outcome.success else None
+        self.metrics.record(
+            RequestRecord(
+                request_id=request.request_id,
+                arrival_time=now,
+                success=session_id is not None,
+                probe_messages=outcome.probe_messages,
+                setup_messages=outcome.setup_messages,
+                explored=outcome.explored,
+                phi=phi,
+                failure_reason=outcome.failure_reason,
+            )
+        )
+        if session_id is not None:
+            self.scheduler.schedule_after(
+                request.duration,
+                lambda sid=session_id: self.sessions.close_if_open(sid),
+                name=f"close#{session_id}",
+            )
+        self._schedule_next_arrival()
+
+    def _schedule_next_arrival(self) -> None:
+        delay = self.workload.next_interarrival(self.scheduler.now)
+        self._pending_arrival = self.scheduler.schedule_after(
+            delay, self._on_arrival, name="arrival"
+        )
+
+    def _on_sampling_tick(self) -> None:
+        now = self.scheduler.now
+        # probe reservations whose confirmation never came time out here
+        self.system.allocator.expire_due(now)
+        ratio = None
+        if isinstance(self.composer, ACPComposer):
+            ratio = self.composer.current_probing_ratio()
+        sample = self.metrics.close_window(now, probing_ratio=ratio)
+        if self.tuner is not None:
+            self.tuner.record_sample(sample.success_rate, time=now)
+
+    def _on_aggregation_round(self) -> None:
+        self.system.aggregation.run_round()
+
+    def _on_migration_round(self) -> None:
+        if self.migration is not None:
+            self.migration.run_round(now=self.scheduler.now)
+
+    def _on_failure_round(self) -> None:
+        if self.failures is not None:
+            self.failures.run_round(
+                sessions=self.sessions, now=self.scheduler.now
+            )
+
+    # -- runs -------------------------------------------------------------------
+
+    def run(self, duration_s: float) -> SimulationReport:
+        """Simulate ``duration_s`` seconds and return the report."""
+        if duration_s <= 0.0:
+            raise ValueError(f"duration must be positive, got {duration_s}")
+        state = self.system.global_state
+        aggregation = self.system.aggregation
+        state_messages_before = state.total_update_messages
+        aggregation_messages_before = aggregation.broadcast_messages
+
+        self._schedule_next_arrival()
+        sampling = self.scheduler.schedule_periodic(
+            self.sampling_period_s, self._on_sampling_tick, name="sampling"
+        )
+        aggregating = self.scheduler.schedule_periodic(
+            self.system.config.aggregation_period_s,
+            self._on_aggregation_round,
+            name="aggregation",
+        )
+        migrating = None
+        if self.migration is not None:
+            migrating = self.scheduler.schedule_periodic(
+                self.migration.period_s, self._on_migration_round, name="migration"
+            )
+        failing = None
+        if self.failures is not None:
+            failing = self.scheduler.schedule_periodic(
+                self.failures.period_s, self._on_failure_round, name="failures"
+            )
+        self.scheduler.run_until(duration_s)
+        sampling.cancel()
+        aggregating.cancel()
+        if migrating is not None:
+            migrating.cancel()
+        if failing is not None:
+            failing.cancel()
+        if self._pending_arrival is not None:
+            # stop the arrival process at the horizon so the event list can
+            # drain (open sessions still close on their own schedule)
+            self._pending_arrival.cancel()
+
+        return self.metrics.build_report(
+            algorithm=self.composer.name,
+            duration_s=duration_s,
+            state_update_messages=state.total_update_messages
+            - state_messages_before,
+            aggregation_messages=aggregation.broadcast_messages
+            - aggregation_messages_before,
+        )

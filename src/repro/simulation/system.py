@@ -1,0 +1,174 @@
+"""System assembly: one config → the full distributed stream processing
+system of Section 4.1.
+
+``build_system`` wires every substrate together deterministically from a
+single seed: the power-law IP topology, the overlay mesh, component
+deployment, routing, the hierarchical state manager, the aggregation role,
+and the resource allocator.  Experiments construct one
+:class:`StreamSystem` per (algorithm, parameter point) so that algorithms
+compared at the same seed see byte-identical systems and workloads.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field, replace
+from typing import Callable, Optional, Tuple
+
+from repro.allocation.allocator import ResourceAllocator
+from repro.core.composer import CompositionContext
+from repro.discovery.deployment import ComponentDeployer, DeploymentProfile
+from repro.discovery.registry import ComponentRegistry
+from repro.model.functions import FunctionCatalog
+from repro.model.templates import TemplateLibrary
+from repro.state.aggregation import AggregationManager, RotationPolicy
+from repro.state.global_state import GlobalStateManager
+from repro.state.local_state import LocalStateProvider
+from repro.topology.deputy import DeputySelector
+from repro.topology.ip_network import IPNetwork
+from repro.topology.overlay import OverlayNetwork, build_overlay_network
+from repro.topology.powerlaw import PowerLawTopologyGenerator
+from repro.topology.routing import OverlayRouter
+
+
+@dataclass(frozen=True)
+class SystemConfig:
+    """Knobs of the simulated distributed stream processing system.
+
+    Defaults reproduce Section 4.1: a 3200-router power-law IP network,
+    N stream processing nodes in a K-neighbour overlay mesh, 80 functions,
+    20 application templates, coarse-grain state updates at a 10 % drift
+    threshold, and a 10-minute aggregation period.
+    """
+
+    num_routers: int = 3200
+    num_nodes: int = 400
+    neighbors_per_node: int = 6
+    catalog_size: int = 80
+    num_formats: int = 3
+    num_templates: int = 20
+    template_path_length: Tuple[int, int] = (2, 5)
+    template_dag_fraction: float = 0.5
+    deployment: DeploymentProfile = field(default_factory=DeploymentProfile)
+    powerlaw_exponent: float = 2.2
+    overlay_bandwidth_kbps: Tuple[float, float] = (20_000.0, 100_000.0)
+    state_threshold_fraction: float = 0.1
+    aggregation_period_s: float = 600.0
+    aggregation_policy: RotationPolicy = RotationPolicy.ROUND_ROBIN
+    transient_timeout_s: float = 10.0
+    seed: int = 0
+
+    def with_seed(self, seed: int) -> "SystemConfig":
+        return replace(self, seed=seed)
+
+    def with_nodes(self, num_nodes: int) -> "SystemConfig":
+        return replace(self, num_nodes=num_nodes)
+
+
+@dataclass
+class StreamSystem:
+    """A fully wired system: topology, deployment, state, allocation."""
+
+    config: SystemConfig
+    catalog: FunctionCatalog
+    templates: TemplateLibrary
+    ip_network: IPNetwork
+    network: OverlayNetwork
+    router: OverlayRouter
+    registry: ComponentRegistry
+    global_state: GlobalStateManager
+    aggregation: AggregationManager
+    local_state: LocalStateProvider
+    allocator: ResourceAllocator
+    _deputy_selector: Optional[DeputySelector] = None
+
+    @property
+    def deputy_selector(self) -> DeputySelector:
+        """Closest-node deputy lookup (built lazily — it precomputes a
+        nodes x routers delay matrix)."""
+        if self._deputy_selector is None:
+            self._deputy_selector = DeputySelector(self.ip_network, self.network)
+        return self._deputy_selector
+
+    def composition_context(
+        self,
+        rng: Optional[random.Random] = None,
+        clock: Callable[[], float] = lambda: 0.0,
+    ) -> CompositionContext:
+        """A composer-facing view of this system."""
+        return CompositionContext(
+            network=self.network,
+            router=self.router,
+            registry=self.registry,
+            allocator=self.allocator,
+            global_state=self.global_state,
+            local_state=self.local_state,
+            rng=rng or random.Random(self.config.seed + 1),
+            clock=clock,
+        )
+
+    def mean_candidates_per_function(self) -> float:
+        """Average candidate pool size k (diagnostics for probe budgets)."""
+        counts = [
+            self.registry.candidate_count(function) for function in self.catalog
+        ]
+        return sum(counts) / len(counts)
+
+
+def build_system(config: SystemConfig) -> StreamSystem:
+    """Deterministically build the full system described by ``config``.
+
+    Sub-seeds are derived from ``config.seed`` so each stage has an
+    independent stream and changing one knob does not scramble the others.
+    """
+    catalog = FunctionCatalog(size=config.catalog_size, num_formats=config.num_formats)
+    templates = TemplateLibrary(
+        catalog,
+        size=config.num_templates,
+        path_length_range=config.template_path_length,
+        dag_fraction=config.template_dag_fraction,
+        seed=config.seed * 7 + 1,
+    )
+    router_graph = PowerLawTopologyGenerator(
+        num_routers=config.num_routers,
+        exponent=config.powerlaw_exponent,
+        seed=config.seed * 7 + 2,
+    ).generate()
+    ip_network = IPNetwork(router_graph)
+    network = build_overlay_network(
+        ip_network,
+        num_nodes=config.num_nodes,
+        neighbors_per_node=config.neighbors_per_node,
+        bandwidth_range_kbps=config.overlay_bandwidth_kbps,
+        rng=random.Random(config.seed * 7 + 3),
+    )
+    overlay_router = OverlayRouter(network)
+    registry = ComponentDeployer(catalog, profile=config.deployment).deploy(
+        network, rng=random.Random(config.seed * 7 + 4)
+    )
+    global_state = GlobalStateManager(
+        network, threshold_fraction=config.state_threshold_fraction
+    )
+    aggregation = AggregationManager(
+        network,
+        global_state,
+        policy=config.aggregation_policy,
+        period_s=config.aggregation_period_s,
+    )
+    local_state = LocalStateProvider(network)
+    allocator = ResourceAllocator(
+        network, overlay_router, transient_timeout_s=config.transient_timeout_s
+    )
+    return StreamSystem(
+        config=config,
+        catalog=catalog,
+        templates=templates,
+        ip_network=ip_network,
+        network=network,
+        router=overlay_router,
+        registry=registry,
+        global_state=global_state,
+        aggregation=aggregation,
+        local_state=local_state,
+        allocator=allocator,
+    )

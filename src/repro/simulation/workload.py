@@ -1,0 +1,302 @@
+"""Workload generation (Section 4.1's request model).
+
+Requests arrive in a Poisson process at a (possibly time-varying) rate in
+requests/minute — the adaptability experiment of Fig. 8 steps the rate
+40 → 80 → 60.  Each request draws a random application template, uniform
+resource requirements, a uniform session duration of 5–15 minutes, and QoS
+requirements at a configurable *stringency level* (Fig. 5(b) compares
+"high QoS" and "very high QoS", where "Higher QoS means shorter processing
+time and lower loss rate requirements").
+
+QoS requirement derivation: the generator knows the expected per-stage
+costs (component delay/loss, virtual-link delay/loss) and budgets the
+end-to-end requirement as ``slack × expected critical-path cost`` with a
+per-request jitter.  Slack < 1 means the requirement is tighter than the
+*average* composition — only better-than-average compositions qualify,
+which is what makes stringency bite.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass, replace
+from typing import Dict, Iterator, Tuple
+
+from repro.model.function_graph import FunctionGraph
+from repro.model.qos import DEFAULT_QOS_SCHEMA, QoSSchema, QoSVector
+from repro.model.request import StreamRequest, derive_bandwidth_requirements
+from repro.model.resources import DEFAULT_RESOURCE_SCHEMA, ResourceSchema, ResourceVector
+from repro.model.templates import TemplateLibrary
+
+
+@dataclass(frozen=True)
+class QoSLevel:
+    """A QoS stringency level: slack multipliers on expected path cost."""
+
+    name: str
+    delay_slack: float
+    loss_slack: float
+
+    def __post_init__(self) -> None:
+        if self.delay_slack <= 0.0 or self.loss_slack <= 0.0:
+            raise ValueError(f"slacks must be positive in {self}")
+
+
+#: The stringency levels used across the experiments.  "high" and
+#: "very_high" correspond to Fig. 5(b)'s two curves.
+QOS_LEVELS: Dict[str, QoSLevel] = {
+    "loose": QoSLevel("loose", delay_slack=2.5, loss_slack=3.0),
+    "normal": QoSLevel("normal", delay_slack=1.8, loss_slack=2.2),
+    "high": QoSLevel("high", delay_slack=1.35, loss_slack=1.7),
+    "very_high": QoSLevel("very_high", delay_slack=1.1, loss_slack=1.3),
+}
+
+
+@dataclass(frozen=True)
+class RateSchedule:
+    """Piecewise-constant request rate in requests/minute.
+
+    ``segments`` are (start_time_s, rate_per_min) pairs; the first must
+    start at 0.  :meth:`constant` builds the common fixed-rate case.
+    """
+
+    segments: Tuple[Tuple[float, float], ...]
+
+    def __post_init__(self) -> None:
+        if not self.segments:
+            raise ValueError("schedule needs at least one segment")
+        if self.segments[0][0] != 0.0:
+            raise ValueError("first segment must start at time 0")
+        times = [start for start, _rate in self.segments]
+        if times != sorted(times):
+            raise ValueError(f"segment starts must be non-decreasing: {times}")
+        for _start, rate in self.segments:
+            if rate <= 0.0:
+                raise ValueError(f"rates must be positive, got {rate}")
+
+    @classmethod
+    def constant(cls, rate_per_min: float) -> "RateSchedule":
+        return cls(((0.0, rate_per_min),))
+
+    @classmethod
+    def steps(cls, *segments: Tuple[float, float]) -> "RateSchedule":
+        return cls(tuple(segments))
+
+    def rate_at(self, time_s: float) -> float:
+        current = self.segments[0][1]
+        for start, rate in self.segments:
+            if time_s >= start:
+                current = rate
+            else:
+                break
+        return current
+
+
+@dataclass(frozen=True)
+class WorkloadProfile:
+    """Distributions for request attributes (Section 4.1 defaults)."""
+
+    stream_rate: Tuple[float, float] = (50.0, 200.0)
+    cpu_requirement: Tuple[float, float] = (2.0, 6.0)
+    memory_requirement: Tuple[float, float] = (10.0, 40.0)
+    session_duration_s: Tuple[float, float] = (300.0, 900.0)  # 5 to 15 min
+    kbps_per_unit: float = 2.0
+    #: expected per-stage costs used to budget QoS requirements; component
+    #: figures include typical load inflation under the load-dependent QoS
+    #: model (base delay mean 27.5 ms, ~45% typical utilisation)
+    expected_component_delay_ms: float = 40.0
+    expected_link_delay_ms: float = 30.0
+    expected_component_loss: float = 0.008
+    expected_link_loss: float = 0.002
+    #: multiplicative jitter applied to each request's QoS budget
+    qos_jitter: Tuple[float, float] = (0.85, 1.15)
+
+
+class WorkloadGenerator:
+    """Draws Poisson arrivals of randomised stream processing requests."""
+
+    def __init__(
+        self,
+        templates: TemplateLibrary,
+        schedule: RateSchedule,
+        qos_level: QoSLevel = QOS_LEVELS["normal"],
+        profile: WorkloadProfile = WorkloadProfile(),
+        num_client_routers: int = 3200,
+        qos_schema: QoSSchema = DEFAULT_QOS_SCHEMA,
+        resource_schema: ResourceSchema = DEFAULT_RESOURCE_SCHEMA,
+        seed: int = 0,
+    ):
+        self.templates = templates
+        self.schedule = schedule
+        self.qos_level = qos_level
+        self.profile = profile
+        self.num_client_routers = num_client_routers
+        self.qos_schema = qos_schema
+        self.resource_schema = resource_schema
+        self._rng = random.Random(seed)
+        self._next_request_id = 0
+
+    # -- arrivals ------------------------------------------------------------
+
+    def next_interarrival(self, now_s: float) -> float:
+        """Exponential inter-arrival time at the current schedule rate."""
+        rate_per_s = self.schedule.rate_at(now_s) / 60.0
+        return self._rng.expovariate(rate_per_s)
+
+    # -- request construction ----------------------------------------------------
+
+    def _critical_path_stages(self, graph: FunctionGraph) -> int:
+        """Function count on the longest source-to-sink path."""
+        return max(len(path) for path in graph.all_paths())
+
+    def qos_requirement_for(self, graph: FunctionGraph) -> QoSVector:
+        """Budget the end-to-end QoS requirement for a function graph."""
+        profile = self.profile
+        level = self.qos_level
+        stages = self._critical_path_stages(graph)
+        jitter = self._rng.uniform(*profile.qos_jitter)
+        delay_budget = (
+            level.delay_slack
+            * jitter
+            * (
+                stages * profile.expected_component_delay_ms
+                + (stages - 1) * profile.expected_link_delay_ms
+            )
+        )
+        # loss budgets add in -log(1-p) space, then map back to a rate
+        loss_log_budget = (
+            level.loss_slack
+            * jitter
+            * (
+                stages * -math.log1p(-profile.expected_component_loss)
+                + (stages - 1) * -math.log1p(-profile.expected_link_loss)
+            )
+        )
+        loss_budget = 1.0 - math.exp(-loss_log_budget)
+        return QoSVector(self.qos_schema, [delay_budget, loss_budget])
+
+    def make_request(self, arrival_time: float) -> StreamRequest:
+        """Draw the next request of the workload."""
+        rng = self._rng
+        profile = self.profile
+        template = self.templates.sample(rng)
+        graph = template.graph
+        stream_rate = rng.uniform(*profile.stream_rate)
+        node_requirements = {
+            index: ResourceVector(
+                self.resource_schema,
+                [
+                    rng.uniform(*profile.cpu_requirement),
+                    rng.uniform(*profile.memory_requirement),
+                ],
+            )
+            for index in range(len(graph))
+        }
+        request = StreamRequest(
+            request_id=self._next_request_id,
+            function_graph=graph,
+            qos_requirement=self.qos_requirement_for(graph),
+            node_requirements=node_requirements,
+            bandwidth_requirements=derive_bandwidth_requirements(
+                graph, stream_rate, profile.kbps_per_unit
+            ),
+            stream_rate=stream_rate,
+            arrival_time=arrival_time,
+            duration=rng.uniform(*profile.session_duration_s),
+            client_router_id=rng.randrange(self.num_client_routers),
+        )
+        self._next_request_id += 1
+        return request
+
+    def requests_until(self, end_time_s: float) -> Iterator[StreamRequest]:
+        """Generate the full arrival sequence up to a horizon (offline use;
+        the simulator schedules arrivals one at a time instead)."""
+        now = 0.0
+        while True:
+            now += self.next_interarrival(now)
+            if now > end_time_s:
+                return
+            yield self.make_request(now)
+
+
+class RecordingWorkload:
+    """Wraps a workload and records what it emitted, for trace replay.
+
+    Section 3.4's on-line profiling wants "the trace replay of actual
+    workloads in the last sampling period" so that profile points are
+    measured under representative conditions.  Wrap the live generator in
+    this recorder, then hand :meth:`trace_since` to a
+    :class:`ReplayWorkload`.
+    """
+
+    def __init__(self, inner: WorkloadGenerator):
+        self.inner = inner
+        self._trace: list = []
+
+    def next_interarrival(self, now_s: float) -> float:
+        return self.inner.next_interarrival(now_s)
+
+    def make_request(self, arrival_time: float) -> StreamRequest:
+        request = self.inner.make_request(arrival_time)
+        self._trace.append(request)
+        return request
+
+    @property
+    def trace(self) -> Tuple[StreamRequest, ...]:
+        return tuple(self._trace)
+
+    def trace_since(self, start_time_s: float) -> Tuple[StreamRequest, ...]:
+        """Requests that arrived at or after ``start_time_s`` (one sampling
+        period's worth, typically)."""
+        return tuple(
+            request
+            for request in self._trace
+            if request.arrival_time >= start_time_s
+        )
+
+
+class ReplayWorkload:
+    """Replays a recorded request trace with its original inter-arrivals.
+
+    Presents the same duck-typed interface the simulator consumes
+    (``next_interarrival`` / ``make_request``).  Arrival times are shifted
+    so the first request of the trace arrives after its original gap from
+    ``trace_start``; when the trace is exhausted the replay raises —
+    callers size the simulation horizon to the trace (see
+    :meth:`horizon`).
+    """
+
+    def __init__(self, trace, trace_start_s: float = 0.0):
+        self._trace = list(trace)
+        if not self._trace:
+            raise ValueError("cannot replay an empty trace")
+        self.trace_start_s = trace_start_s
+        self._cursor = 0
+        base = trace_start_s
+        self._offsets = []
+        previous = base
+        for request in self._trace:
+            self._offsets.append(max(0.0, request.arrival_time - previous))
+            previous = request.arrival_time
+
+    def __len__(self) -> int:
+        return len(self._trace)
+
+    def horizon(self) -> float:
+        """Replay duration: the original span of the trace (seconds)."""
+        return self._trace[-1].arrival_time - self.trace_start_s
+
+    def next_interarrival(self, now_s: float) -> float:
+        if self._cursor >= len(self._trace):
+            # past the trace: push the next arrival beyond any sane horizon
+            # so the simulator's run_until() ends the replay cleanly
+            return float(1e12)
+        return self._offsets[self._cursor]
+
+    def make_request(self, arrival_time: float) -> StreamRequest:
+        if self._cursor >= len(self._trace):
+            raise IndexError("replay trace exhausted")
+        original = self._trace[self._cursor]
+        self._cursor += 1
+        return replace(original, arrival_time=arrival_time)

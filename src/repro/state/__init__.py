@@ -1,0 +1,18 @@
+"""Hierarchical state management (paper Section 3.2).
+
+Fine-grain precise local state per node, coarse-grain threshold-triggered
+global state, and the rotating virtual-link aggregation role.
+"""
+
+from repro.state.aggregation import AggregationManager, RotationPolicy
+from repro.state.global_state import GlobalStateManager
+from repro.state.local_state import LocalStateError, LocalStateProvider, LocalStateView
+
+__all__ = [
+    "AggregationManager",
+    "RotationPolicy",
+    "GlobalStateManager",
+    "LocalStateProvider",
+    "LocalStateView",
+    "LocalStateError",
+]

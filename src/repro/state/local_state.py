@@ -1,0 +1,103 @@
+"""Fine-grain local state (Section 3.2).
+
+"The local state of a node consists of the QoS/resource states of its
+neighbor nodes in the overlay mesh, and its adjacent overlay links.  Each
+node keeps its local state with high precision using frequent proactive
+measurement at short time interval (e.g., 10 seconds).  For scalability,
+the precise local state is not disseminated to other nodes."
+
+In the simulator the proactive measurement loop always converges to ground
+truth between composition events, so the local state view reads the live
+entities directly — that *is* the precise state a node would have measured.
+The value of the class is the access discipline it enforces: a consumer
+holding a :class:`LocalStateView` for node *v* can only read *v*, *v*'s
+mesh neighbours, and *v*'s adjacent overlay links, exactly the scope the
+paper grants to per-hop probe processing.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+from repro.model.node import Node
+from repro.model.qos import QoSVector
+from repro.model.resources import ResourceVector
+from repro.topology.overlay import OverlayLink, OverlayNetwork
+
+
+class LocalStateError(KeyError):
+    """Raised when a query leaves the local-state scope of the owning node."""
+
+
+class LocalStateView:
+    """Precise state of one node's overlay neighbourhood."""
+
+    __slots__ = ("_network", "_node_id", "_scope")
+
+    def __init__(self, network: OverlayNetwork, node_id: int):
+        self._network = network
+        self._node_id = node_id
+        self._scope = frozenset((node_id,) + network.neighbors(node_id))
+
+    @property
+    def node_id(self) -> int:
+        return self._node_id
+
+    @property
+    def scope(self) -> frozenset:
+        """Node ids visible from this view (self plus mesh neighbours)."""
+        return self._scope
+
+    def _check_scope(self, node_id: int) -> None:
+        if node_id not in self._scope:
+            raise LocalStateError(
+                f"node v{node_id} is outside the local state of v{self._node_id} "
+                f"(scope: self + mesh neighbours)"
+            )
+
+    def node_available(self, node_id: int) -> ResourceVector:
+        """Precise available resources of self or a mesh neighbour."""
+        self._check_scope(node_id)
+        return self._network.node(node_id).available
+
+    def component_qos(self, node_id: int, component_id: int) -> QoSVector:
+        """Precise QoS of a component hosted within scope."""
+        self._check_scope(node_id)
+        for component in self._network.node(node_id).components:
+            if component.component_id == component_id:
+                return component.qos
+        raise LocalStateError(
+            f"component c{component_id} is not hosted on v{node_id}"
+        )
+
+    def adjacent_links(self) -> Tuple[OverlayLink, ...]:
+        """The owning node's adjacent overlay links (precise, live)."""
+        return self._network.adjacent_links(self._node_id)
+
+    def link_available_kbps(self, link_id: int) -> float:
+        """Precise available bandwidth of an adjacent overlay link."""
+        for link in self._network.adjacent_links(self._node_id):
+            if link.link_id == link_id:
+                return link.available_kbps
+        raise LocalStateError(
+            f"overlay link e{link_id} is not adjacent to v{self._node_id}"
+        )
+
+
+class LocalStateProvider:
+    """Factory of per-node local state views over one overlay network."""
+
+    def __init__(self, network: OverlayNetwork):
+        self._network = network
+        self._views = {}
+
+    def view(self, node_id: int) -> LocalStateView:
+        view = self._views.get(node_id)
+        if view is None:
+            view = LocalStateView(self._network, node_id)
+            self._views[node_id] = view
+        return view
+
+    def node(self, node_id: int) -> Node:
+        """Direct precise access used by probe processing *at* the node."""
+        return self._network.node(node_id)

@@ -1,0 +1,48 @@
+"""Deputy node selection (Section 3.3).
+
+"When a stream processing request is submitted, the request is redirected
+to a node that is closest to the client based on a predefined proximity
+metric (e.g., geographical location).  The selected node, called *deputy
+node*, initiates the ACP protocol."
+
+:class:`DeputySelector` precomputes IP-layer shortest-path delays from
+every overlay node's attachment router to every router, then answers
+"which overlay node is closest to this client?" in O(N).  The proximity
+metric is network delay — the natural stand-in for geography on a
+delay-weighted topology.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.topology.ip_network import IPNetwork
+from repro.topology.overlay import OverlayNetwork
+
+
+class DeputySelector:
+    """Closest-overlay-node lookup for client attachment routers."""
+
+    def __init__(self, ip_network: IPNetwork, network: OverlayNetwork):
+        self.network = network
+        routers = [node.router_id for node in network.nodes]
+        #: shape (num_overlay_nodes, num_routers): delay from each overlay
+        #: node's router to every router in the IP graph
+        self._delays = ip_network.delays_from(routers)
+
+    def deputy_for_router(self, client_router_id: int) -> int:
+        """The overlay node with minimal IP delay to the client's router."""
+        if not 0 <= client_router_id < self._delays.shape[1]:
+            raise ValueError(f"unknown client router {client_router_id}")
+        return int(np.argmin(self._delays[:, client_router_id]))
+
+    def delay_to_deputy(self, client_router_id: int) -> float:
+        """IP delay (ms) between the client and its deputy."""
+        deputy = self.deputy_for_router(client_router_id)
+        return float(self._delays[deputy, client_router_id])
+
+    def deputies_for(self, client_router_ids: Sequence[int]) -> np.ndarray:
+        """Vectorised lookup for a batch of clients."""
+        return np.argmin(self._delays[:, list(client_router_ids)], axis=0)

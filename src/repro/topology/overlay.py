@@ -1,0 +1,318 @@
+"""Overlay mesh of stream processing nodes.
+
+Section 2.1: "For failure resilience, we connect distributed nodes using
+application-level overlay links (e_i) into an overlay mesh."  Section 4.1:
+"The simulator then randomly selects N ∈ [200, 500] nodes as stream
+processing nodes, which are connected into an overlay mesh.  Each node of
+the mesh has K neighbors."
+
+:class:`OverlayLink` is the unit of bandwidth state: it carries a static
+QoS vector (delay derived from the IP-layer shortest path between its
+endpoints, a small loss rate) and a mutable available-bandwidth figure.
+All bandwidth mutation goes through :meth:`OverlayLink.allocate_bandwidth`
+and :meth:`OverlayLink.release_bandwidth` so observers — the hierarchical
+state manager — can watch for threshold crossings.
+
+:class:`OverlayNetwork` owns the nodes and links and answers adjacency
+queries; end-to-end *virtual links* (overlay paths) live in
+``repro.topology.routing``.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.model.node import Node
+from repro.model.qos import DEFAULT_QOS_SCHEMA, QoSSchema, QoSVector
+from repro.model.resources import DEFAULT_RESOURCE_SCHEMA, ResourceVector
+from repro.topology.ip_network import IPNetwork
+
+#: Signature of overlay link change listeners: listener(link) after change.
+LinkListener = Callable[["OverlayLink"], None]
+
+
+class InsufficientBandwidthError(RuntimeError):
+    """Raised when an allocation would drive a link's residual negative."""
+
+
+class OverlayLink:
+    """An application-level overlay link between two stream nodes."""
+
+    __slots__ = (
+        "link_id",
+        "node_a",
+        "node_b",
+        "delay_ms",
+        "loss_rate",
+        "capacity_kbps",
+        "_allocated_kbps",
+        "_listeners",
+        "_qos",
+    )
+
+    def __init__(
+        self,
+        link_id: int,
+        node_a: int,
+        node_b: int,
+        delay_ms: float,
+        loss_rate: float,
+        capacity_kbps: float,
+        qos_schema: QoSSchema = DEFAULT_QOS_SCHEMA,
+    ):
+        if node_a == node_b:
+            raise ValueError(f"overlay link endpoints must differ, got {node_a}")
+        if capacity_kbps <= 0.0:
+            raise ValueError(f"capacity must be positive, got {capacity_kbps}")
+        self.link_id = link_id
+        self.node_a = min(node_a, node_b)
+        self.node_b = max(node_a, node_b)
+        self.delay_ms = float(delay_ms)
+        self.loss_rate = float(loss_rate)
+        self.capacity_kbps = float(capacity_kbps)
+        self._allocated_kbps = 0.0
+        self._listeners: List[LinkListener] = []
+        self._qos = QoSVector(qos_schema, [self.delay_ms, self.loss_rate])
+
+    @property
+    def endpoints(self) -> Tuple[int, int]:
+        return (self.node_a, self.node_b)
+
+    @property
+    def qos(self) -> QoSVector:
+        """Static link QoS (delay, loss)."""
+        return self._qos
+
+    @property
+    def allocated_kbps(self) -> float:
+        return self._allocated_kbps
+
+    @property
+    def available_kbps(self) -> float:
+        """Current bandwidth availability ``ba`` of the link."""
+        return self.capacity_kbps - self._allocated_kbps
+
+    def other_end(self, node_id: int) -> int:
+        if node_id == self.node_a:
+            return self.node_b
+        if node_id == self.node_b:
+            return self.node_a
+        raise ValueError(f"node {node_id} is not an endpoint of {self!r}")
+
+    def can_allocate(self, kbps: float) -> bool:
+        return self.available_kbps >= kbps - 1e-9
+
+    def allocate_bandwidth(self, kbps: float) -> None:
+        if kbps < 0.0:
+            raise ValueError(f"negative bandwidth {kbps}")
+        if not self.can_allocate(kbps):
+            raise InsufficientBandwidthError(
+                f"{self!r}: cannot allocate {kbps} kbps; "
+                f"available {self.available_kbps} kbps"
+            )
+        self._allocated_kbps += kbps
+        self._notify()
+
+    def release_bandwidth(self, kbps: float) -> None:
+        if kbps < 0.0:
+            raise ValueError(f"negative bandwidth {kbps}")
+        if kbps > self._allocated_kbps + 1e-9:
+            raise ValueError(
+                f"{self!r}: releasing {kbps} kbps exceeds allocated "
+                f"{self._allocated_kbps} kbps"
+            )
+        self._allocated_kbps = max(0.0, self._allocated_kbps - kbps)
+        self._notify()
+
+    def add_change_listener(self, listener: LinkListener) -> None:
+        self._listeners.append(listener)
+
+    def _notify(self) -> None:
+        for listener in self._listeners:
+            listener(self)
+
+    def __repr__(self) -> str:
+        return (
+            f"OverlayLink(e{self.link_id} v{self.node_a}<->v{self.node_b}, "
+            f"{self.delay_ms:.1f}ms, {self.available_kbps:.0f}/"
+            f"{self.capacity_kbps:.0f}kbps)"
+        )
+
+
+class OverlayNetwork:
+    """The overlay mesh: stream processing nodes plus overlay links."""
+
+    def __init__(self, nodes: Sequence[Node], links: Sequence[OverlayLink]):
+        self._nodes: Tuple[Node, ...] = tuple(nodes)
+        for index, node in enumerate(self._nodes):
+            if node.node_id != index:
+                raise ValueError(
+                    f"node ids must be dense 0..n-1; position {index} has "
+                    f"id {node.node_id}"
+                )
+        self._links: Tuple[OverlayLink, ...] = tuple(links)
+        self._by_pair: Dict[Tuple[int, int], OverlayLink] = {}
+        adjacency: Dict[int, List[int]] = {n.node_id: [] for n in self._nodes}
+        for index, link in enumerate(self._links):
+            if link.link_id != index:
+                raise ValueError(
+                    f"link ids must be dense 0..m-1; position {index} has "
+                    f"id {link.link_id}"
+                )
+            pair = link.endpoints
+            if pair in self._by_pair:
+                raise ValueError(f"duplicate overlay link between {pair}")
+            self._by_pair[pair] = link
+            adjacency[link.node_a].append(link.link_id)
+            adjacency[link.node_b].append(link.link_id)
+        self._adjacency = {k: tuple(v) for k, v in adjacency.items()}
+
+    # -- accessors ---------------------------------------------------------
+
+    @property
+    def nodes(self) -> Tuple[Node, ...]:
+        return self._nodes
+
+    @property
+    def links(self) -> Tuple[OverlayLink, ...]:
+        return self._links
+
+    def __len__(self) -> int:
+        return len(self._nodes)
+
+    def node(self, node_id: int) -> Node:
+        return self._nodes[node_id]
+
+    def link(self, link_id: int) -> OverlayLink:
+        return self._links[link_id]
+
+    def link_between(self, node_a: int, node_b: int) -> Optional[OverlayLink]:
+        return self._by_pair.get((min(node_a, node_b), max(node_a, node_b)))
+
+    def adjacent_links(self, node_id: int) -> Tuple[OverlayLink, ...]:
+        return tuple(self._links[i] for i in self._adjacency[node_id])
+
+    def neighbors(self, node_id: int) -> Tuple[int, ...]:
+        return tuple(
+            self._links[i].other_end(node_id) for i in self._adjacency[node_id]
+        )
+
+    def path_available_bw(self, link_ids: Iterable[int]) -> float:
+        """Bottleneck bandwidth of an overlay path (Section 2.1:
+        ``ba_li = min(ba_e1, ..., ba_ek)``); ``inf`` for the empty
+        (co-located) path."""
+        available = float("inf")
+        for link_id in link_ids:
+            available = min(available, self._links[link_id].available_kbps)
+        return available
+
+
+def default_node_capacity_sampler(rng: random.Random) -> ResourceVector:
+    """Default node capacity draw: CPU U(50, 100) units, memory U(256, 1024) MB.
+
+    The paper only says capacities are "uniformly distributed within certain
+    range based on the real-world measurements"; these ranges put tens of
+    concurrent component instances on a node, matching the contention regime
+    of the evaluation.
+    """
+    return ResourceVector(
+        DEFAULT_RESOURCE_SCHEMA,
+        [rng.uniform(50.0, 100.0), rng.uniform(256.0, 1024.0)],
+    )
+
+
+def _bridge_components(pairs, delays, num_nodes: int) -> None:
+    """Make the k-nearest-neighbour mesh connected.
+
+    Nearest-neighbour unions can leave clusters of mutually-close nodes
+    isolated; any pair of unreachable overlay nodes would make some
+    compositions structurally impossible.  Bridge each component into the
+    first one through the minimum-delay inter-component pair (mutates
+    ``pairs`` in place).
+    """
+    parent = list(range(num_nodes))
+
+    def find(x: int) -> int:
+        while parent[x] != x:
+            parent[x] = parent[parent[x]]
+            x = parent[x]
+        return x
+
+    for a, b in pairs:
+        parent[find(a)] = find(b)
+    components: Dict[int, List[int]] = {}
+    for node in range(num_nodes):
+        components.setdefault(find(node), []).append(node)
+    groups = sorted(components.values(), key=len, reverse=True)
+    base = groups[0]
+    for group in groups[1:]:
+        best = min(
+            ((a, b) for a in group for b in base),
+            key=lambda pair: delays[pair[0], pair[1]],
+        )
+        pairs.add((min(best), max(best)))
+        base = base + group
+
+
+def build_overlay_network(
+    ip_network: IPNetwork,
+    num_nodes: int,
+    neighbors_per_node: int = 6,
+    bandwidth_range_kbps: Tuple[float, float] = (20_000.0, 100_000.0),
+    loss_per_ms: Tuple[float, float] = (1e-5, 1e-4),
+    node_capacity_sampler: Callable[[random.Random], ResourceVector] = (
+        default_node_capacity_sampler
+    ),
+    rng: Optional[random.Random] = None,
+) -> OverlayNetwork:
+    """Build the overlay mesh over an IP network (Section 4.1's recipe).
+
+    ``num_nodes`` distinct routers are selected as stream processing nodes;
+    each node links to its ``neighbors_per_node`` nearest peers by IP-layer
+    delay.  Overlay link delay is the IP shortest-path delay between the
+    endpoints' routers; loss grows with delay; capacity is drawn uniformly.
+    """
+    rng = rng or random.Random()
+    if num_nodes < 2:
+        raise ValueError(f"need at least 2 overlay nodes, got {num_nodes}")
+    if num_nodes > ip_network.num_routers:
+        raise ValueError(
+            f"cannot place {num_nodes} overlay nodes on "
+            f"{ip_network.num_routers} routers"
+        )
+    if neighbors_per_node < 1:
+        raise ValueError("neighbors_per_node must be ≥ 1")
+
+    routers = rng.sample(range(ip_network.num_routers), num_nodes)
+    nodes = [
+        Node(node_id, router_id, node_capacity_sampler(rng))
+        for node_id, router_id in enumerate(routers)
+    ]
+
+    delays = ip_network.delays_between(routers)
+    pairs = set()
+    k = min(neighbors_per_node, num_nodes - 1)
+    for node_id in range(num_nodes):
+        order = np.argsort(delays[node_id], kind="stable")
+        picked = 0
+        for neighbor in order:
+            neighbor = int(neighbor)
+            if neighbor == node_id:
+                continue
+            pairs.add((min(node_id, neighbor), max(node_id, neighbor)))
+            picked += 1
+            if picked >= k:
+                break
+
+    _bridge_components(pairs, delays, num_nodes)
+
+    links = []
+    for link_id, (a, b) in enumerate(sorted(pairs)):
+        delay = float(delays[a, b])
+        loss = min(0.5, delay * rng.uniform(*loss_per_ms))
+        capacity = rng.uniform(*bandwidth_range_kbps)
+        links.append(OverlayLink(link_id, a, b, delay, loss, capacity))
+    return OverlayNetwork(nodes, links)

@@ -1,0 +1,162 @@
+"""Overlay routing and virtual links.
+
+Section 2.1: "The connection between two adjacent components is called
+virtual link (l_i), which consists of a set of overlay links.  The QoS of
+the virtual link is the aggregation of QoS values among its constituent
+overlay links; the bandwidth availability ba_li is the bottleneck bandwidth
+among the overlay links."
+
+:class:`OverlayRouter` computes delay-based shortest paths over the overlay
+mesh once (scipy Dijkstra with predecessors), then answers virtual-link
+queries: the overlay-link path between any node pair, its static QoS
+(delay sums, loss composes), and its *current* bottleneck bandwidth (always
+read live from the links, since bandwidth is the dynamic quantity).
+
+Co-located pairs (a == b) yield the empty path with zero QoS — footnote 4's
+"0 network delay" and footnote 8's infinite residual bandwidth.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+import numpy as np
+from scipy.sparse import csr_matrix
+from scipy.sparse.csgraph import dijkstra
+
+from repro.model.component_graph import VirtualLinkPath
+from repro.model.qos import QoSVector, combine_all
+from repro.topology.overlay import OverlayNetwork
+
+
+class RoutingError(RuntimeError):
+    """Raised when no overlay path exists between two nodes."""
+
+
+class OverlayRouter:
+    """Delay-based shortest-path routing over an overlay mesh."""
+
+    def __init__(self, network: OverlayNetwork):
+        self.network = network
+        self._down_nodes: frozenset = frozenset()
+        self._path_cache: Dict[Tuple[int, int], Tuple[int, ...]] = {}
+        self._qos_cache: Dict[Tuple[int, int], QoSVector] = {}
+        schema = (
+            network.links[0].qos.schema
+            if network.links
+            else QoSVector.zero().schema
+        )
+        self._zero_qos = QoSVector.zero(schema)
+        self._solve()
+
+    def _solve(self) -> None:
+        """(Re)compute all-pairs shortest paths, skipping down nodes.
+
+        Links adjacent to a down node are removed from the routing graph —
+        a crashed node cannot relay overlay traffic.
+        """
+        network = self.network
+        n = len(network)
+        rows, cols, delays = [], [], []
+        for link in network.links:
+            if link.node_a in self._down_nodes or link.node_b in self._down_nodes:
+                continue
+            rows.extend((link.node_a, link.node_b))
+            cols.extend((link.node_b, link.node_a))
+            delays.extend((link.delay_ms, link.delay_ms))
+        matrix = csr_matrix(
+            (np.asarray(delays), (np.asarray(rows), np.asarray(cols))), shape=(n, n)
+        )
+        self._distances, self._predecessors = dijkstra(
+            matrix, directed=False, return_predecessors=True
+        )
+        self._path_cache.clear()
+        self._qos_cache.clear()
+
+    # -- liveness (failure injection) -----------------------------------------
+
+    @property
+    def down_nodes(self) -> frozenset:
+        return self._down_nodes
+
+    def set_down_nodes(self, node_ids) -> None:
+        """Declare the set of crashed nodes and re-route around them.
+
+        Recomputes the all-pairs matrices (O(N·E log N)); callers batch
+        failure/recovery events per round rather than per node.
+        """
+        down = frozenset(node_ids)
+        if down != self._down_nodes:
+            self._down_nodes = down
+            self._solve()
+
+    # -- paths -------------------------------------------------------------
+
+    def delay(self, node_a: int, node_b: int) -> float:
+        """Shortest overlay path delay in ms (0 for a == b)."""
+        return float(self._distances[node_a, node_b])
+
+    def reachable(self, node_a: int, node_b: int) -> bool:
+        return np.isfinite(self._distances[node_a, node_b])
+
+    def overlay_path(self, node_a: int, node_b: int) -> Tuple[int, ...]:
+        """Overlay link ids along the delay-shortest path (empty if a == b).
+
+        Raises:
+            RoutingError: if the mesh does not connect the two nodes.
+        """
+        if node_a == node_b:
+            return ()
+        key = (node_a, node_b)
+        cached = self._path_cache.get(key)
+        if cached is not None:
+            return cached
+        if not self.reachable(node_a, node_b):
+            raise RoutingError(f"no overlay path v{node_a} -> v{node_b}")
+        link_ids = []
+        current = node_b
+        while current != node_a:
+            previous = int(self._predecessors[node_a, current])
+            link = self.network.link_between(previous, current)
+            if link is None:  # pragma: no cover - predecessor matrix guarantees it
+                raise RoutingError(
+                    f"routing inconsistency between v{previous} and v{current}"
+                )
+            link_ids.append(link.link_id)
+            current = previous
+        path = tuple(reversed(link_ids))
+        self._path_cache[key] = path
+        return path
+
+    # -- virtual links -------------------------------------------------------
+
+    def virtual_link_qos(self, node_a: int, node_b: int) -> QoSVector:
+        """Static aggregated QoS of the virtual link between two nodes."""
+        if node_a == node_b:
+            return self._zero_qos
+        key = (min(node_a, node_b), max(node_a, node_b))
+        cached = self._qos_cache.get(key)
+        if cached is None:
+            path = self.overlay_path(node_a, node_b)
+            cached = combine_all(
+                (self.network.link(link_id).qos for link_id in path),
+                self._zero_qos.schema,
+            )
+            self._qos_cache[key] = cached
+        return cached
+
+    def virtual_link(self, node_a: int, node_b: int) -> VirtualLinkPath:
+        """The virtual link between two (possibly identical) nodes."""
+        path = self.overlay_path(node_a, node_b)
+        return VirtualLinkPath(
+            src_node_id=node_a,
+            dst_node_id=node_b,
+            overlay_link_ids=path,
+            qos=self.virtual_link_qos(node_a, node_b),
+        )
+
+    def available_bandwidth(self, node_a: int, node_b: int) -> float:
+        """Current bottleneck bandwidth of the virtual link (live values)."""
+        if node_a == node_b:
+            return float("inf")
+        return self.network.path_available_bw(self.overlay_path(node_a, node_b))

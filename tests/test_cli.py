@@ -1,0 +1,68 @@
+"""Tests for the repro-experiments command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+# every CLI test shrinks the workload far below even FAST_SCALE by
+# narrowing the swept values; the fast scale handles the rest
+TINY = ["--scale", "fast", "--nodes", "80", "--seed", "1"]
+
+
+class TestParser:
+    def test_requires_command(self, capsys):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_unknown_command_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["fig99"])
+
+    def test_common_flags_after_subcommand(self):
+        args = build_parser().parse_args(
+            ["fig6", "--scale", "paper", "--seed", "7"]
+        )
+        assert args.scale == "paper"
+        assert args.seed == 7
+
+    def test_list_arguments_parse(self):
+        args = build_parser().parse_args(
+            ["fig5a", "--rates", "50,100", "--ratios", "0.1,0.5"]
+        )
+        assert args.rates == [50.0, 100.0]
+        assert args.ratios == [0.1, 0.5]
+
+    def test_fig7_counts(self):
+        args = build_parser().parse_args(["fig7", "--counts", "200,400"])
+        assert args.counts == [200, 400]
+
+
+class TestCommands:
+    def test_compare_prints_summary(self, capsys):
+        exit_code = main(
+            ["compare", *TINY, "--rate", "20", "--algorithms", "ACP,Static"]
+        )
+        assert exit_code == 0
+        out = capsys.readouterr().out
+        assert "ACP" in out and "Static" in out
+        assert "success (%)" in out
+
+    def test_fig5a_single_point(self, capsys):
+        exit_code = main(
+            ["fig5a", *TINY, "--rates", "20", "--ratios", "0.5"]
+        )
+        assert exit_code == 0
+        out = capsys.readouterr().out
+        assert "Figure 5a" in out
+        assert "20 reqs/min" in out
+
+    def test_output_file(self, tmp_path, capsys):
+        sink = tmp_path / "out.txt"
+        main(
+            [
+                "compare", "--scale", "fast", "--nodes", "80", "--seed", "1",
+                "-o", str(sink), "--rate", "20", "--algorithms", "Static",
+            ]
+        )
+        capsys.readouterr()
+        assert "Static" in sink.read_text()

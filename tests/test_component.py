@@ -1,0 +1,57 @@
+"""Unit tests for deployed components."""
+
+import pytest
+
+from tests.conftest import make_component, qv
+
+
+class TestComponentValidation:
+    def test_output_format_must_match_function(self, catalog):
+        with pytest.raises(ValueError, match="output format"):
+            make_component(0, catalog[0], 0, output_format="not-a-format")
+
+    def test_input_formats_subset_of_function(self, catalog):
+        with pytest.raises(ValueError, match="exceed"):
+            make_component(0, catalog[0], 0, input_formats={"alien"})
+
+    def test_at_least_one_input_format(self, catalog):
+        with pytest.raises(ValueError, match="at least one"):
+            make_component(0, catalog[0], 0, input_formats=set())
+
+    def test_positive_max_input_rate(self, catalog):
+        with pytest.raises(ValueError, match="max_input_rate"):
+            make_component(0, catalog[0], 0, max_input_rate=0.0)
+
+
+class TestComponentInterface:
+    def test_accepts_matching_format_and_rate(self, catalog):
+        component = make_component(0, catalog[0], 0, max_input_rate=100.0)
+        assert component.accepts("fmt0", 100.0)
+
+    def test_rejects_excess_rate(self, catalog):
+        component = make_component(0, catalog[0], 0, max_input_rate=100.0)
+        assert not component.accepts("fmt0", 100.1)
+
+    def test_rejects_unknown_format(self, catalog):
+        component = make_component(0, catalog[0], 0, input_formats={"fmt1"})
+        assert not component.accepts("fmt0", 1.0)
+
+    def test_output_rate_delegates_to_function(self, catalog):
+        component = make_component(0, catalog.by_name("aggregation-00"), 0)
+        assert component.output_rate(100.0) == pytest.approx(30.0)
+
+    def test_compatible_with_checks_downstream_inputs(self, catalog):
+        upstream = make_component(0, catalog[0], 0, output_format="fmt0")
+        narrow = make_component(1, catalog[1], 1, input_formats={"fmt1"})
+        wide = make_component(2, catalog[1], 1)
+        assert not upstream.compatible_with(narrow)
+        assert upstream.compatible_with(wide)
+
+    def test_qos_exposed(self, catalog):
+        component = make_component(0, catalog[0], 0, delay=12.0, loss=0.004)
+        assert component.qos == qv(12.0, 0.004)
+
+    def test_repr(self, catalog):
+        component = make_component(3, catalog[0], 7)
+        assert "c3" in repr(component)
+        assert "v7" in repr(component)

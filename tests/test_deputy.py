@@ -1,0 +1,59 @@
+"""Unit tests for deputy node selection."""
+
+import numpy as np
+import pytest
+
+from repro.topology.deputy import DeputySelector
+from repro.topology.ip_network import IPNetwork
+from repro.topology.powerlaw import RouterGraph, RouterLink
+from repro.model.node import Node
+from repro.topology.overlay import OverlayLink, OverlayNetwork
+from tests.conftest import rv
+
+
+@pytest.fixture
+def selector():
+    """A 5-router line; overlay nodes sit on routers 0 and 4."""
+    links = tuple(
+        RouterLink(i, i, i + 1, delay_ms=1.0, bandwidth_kbps=1000.0, loss_rate=0.0)
+        for i in range(4)
+    )
+    ip = IPNetwork(RouterGraph(5, links))
+    nodes = [Node(0, 0, rv(10, 10)), Node(1, 4, rv(10, 10))]
+    overlay = OverlayNetwork(
+        nodes, [OverlayLink(0, 0, 1, 4.0, 0.0, 1000.0)]
+    )
+    return DeputySelector(ip, overlay)
+
+
+class TestDeputySelection:
+    def test_client_at_overlay_router_gets_that_node(self, selector):
+        assert selector.deputy_for_router(0) == 0
+        assert selector.deputy_for_router(4) == 1
+
+    def test_midpoint_breaks_toward_closer_node(self, selector):
+        # router 1 is 1ms from node 0's router, 3ms from node 1's
+        assert selector.deputy_for_router(1) == 0
+        assert selector.deputy_for_router(3) == 1
+
+    def test_delay_to_deputy(self, selector):
+        assert selector.delay_to_deputy(1) == pytest.approx(1.0)
+        assert selector.delay_to_deputy(0) == 0.0
+
+    def test_batch_lookup_matches_scalar(self, selector):
+        batch = selector.deputies_for([0, 1, 3, 4])
+        assert list(batch) == [0, 0, 1, 1]
+
+    def test_unknown_router_rejected(self, selector):
+        with pytest.raises(ValueError, match="unknown client router"):
+            selector.deputy_for_router(99)
+
+    def test_deputy_minimises_delay_on_generated_system(self, small_system):
+        selector = small_system.deputy_selector
+        routers = [node.router_id for node in small_system.network.nodes]
+        delays = small_system.ip_network.delays_from(routers)
+        for client in range(0, small_system.config.num_routers, 7):
+            deputy = selector.deputy_for_router(client)
+            assert delays[deputy, client] == pytest.approx(
+                float(np.min(delays[:, client]))
+            )

@@ -1,0 +1,157 @@
+"""Unit tests for the event-driven simulation engine."""
+
+import pytest
+
+from repro.simulation.engine import EventScheduler, SchedulerError
+
+
+@pytest.fixture
+def scheduler():
+    return EventScheduler()
+
+
+class TestScheduling:
+    def test_events_fire_in_time_order(self, scheduler):
+        fired = []
+        scheduler.schedule_at(5.0, lambda: fired.append("b"))
+        scheduler.schedule_at(1.0, lambda: fired.append("a"))
+        scheduler.schedule_at(9.0, lambda: fired.append("c"))
+        scheduler.run()
+        assert fired == ["a", "b", "c"]
+
+    def test_equal_times_fire_in_scheduling_order(self, scheduler):
+        fired = []
+        for name in ("first", "second", "third"):
+            scheduler.schedule_at(2.0, lambda n=name: fired.append(n))
+        scheduler.run()
+        assert fired == ["first", "second", "third"]
+
+    def test_clock_advances_to_event_time(self, scheduler):
+        seen = []
+        scheduler.schedule_at(3.5, lambda: seen.append(scheduler.now))
+        scheduler.run()
+        assert seen == [3.5]
+
+    def test_schedule_after_uses_current_time(self, scheduler):
+        seen = []
+        scheduler.schedule_at(2.0, lambda: scheduler.schedule_after(
+            1.5, lambda: seen.append(scheduler.now)
+        ))
+        scheduler.run()
+        assert seen == [3.5]
+
+    def test_past_scheduling_rejected(self, scheduler):
+        scheduler.schedule_at(5.0, lambda: None)
+        scheduler.run()
+        with pytest.raises(SchedulerError, match="clock is at"):
+            scheduler.schedule_at(1.0, lambda: None)
+
+    def test_negative_delay_rejected(self, scheduler):
+        with pytest.raises(SchedulerError, match="negative delay"):
+            scheduler.schedule_after(-1.0, lambda: None)
+
+    def test_infinite_time_rejected(self, scheduler):
+        with pytest.raises(SchedulerError, match="finite"):
+            scheduler.schedule_at(float("inf"), lambda: None)
+
+
+class TestCancellation:
+    def test_cancelled_event_does_not_fire(self, scheduler):
+        fired = []
+        event = scheduler.schedule_at(1.0, lambda: fired.append(1))
+        event.cancel()
+        scheduler.run()
+        assert fired == []
+
+    def test_cancel_after_firing_is_noop(self, scheduler):
+        event = scheduler.schedule_at(1.0, lambda: None)
+        scheduler.run()
+        event.cancel()  # must not raise
+
+    def test_len_ignores_cancelled(self, scheduler):
+        event = scheduler.schedule_at(1.0, lambda: None)
+        scheduler.schedule_at(2.0, lambda: None)
+        event.cancel()
+        assert len(scheduler) == 1
+
+
+class TestRunUntil:
+    def test_stops_at_horizon(self, scheduler):
+        fired = []
+        scheduler.schedule_at(1.0, lambda: fired.append(1))
+        scheduler.schedule_at(10.0, lambda: fired.append(10))
+        scheduler.run_until(5.0)
+        assert fired == [1]
+        assert scheduler.now == 5.0
+        scheduler.run_until(10.0)
+        assert fired == [1, 10]
+
+    def test_event_at_horizon_fires(self, scheduler):
+        fired = []
+        scheduler.schedule_at(5.0, lambda: fired.append(1))
+        scheduler.run_until(5.0)
+        assert fired == [1]
+
+    def test_cascading_events_within_horizon(self, scheduler):
+        fired = []
+
+        def chain(n):
+            fired.append(n)
+            if n < 3:
+                scheduler.schedule_after(1.0, lambda: chain(n + 1))
+
+        scheduler.schedule_at(0.0, lambda: chain(0))
+        scheduler.run_until(10.0)
+        assert fired == [0, 1, 2, 3]
+
+    def test_backwards_horizon_rejected(self, scheduler):
+        scheduler.schedule_at(5.0, lambda: None)
+        scheduler.run_until(5.0)
+        with pytest.raises(SchedulerError, match="before the clock"):
+            scheduler.run_until(1.0)
+
+
+class TestPeriodic:
+    def test_fires_every_interval(self, scheduler):
+        times = []
+        scheduler.schedule_periodic(2.0, lambda: times.append(scheduler.now))
+        scheduler.run_until(7.0)
+        assert times == [2.0, 4.0, 6.0]
+
+    def test_cancel_stops_future_firings(self, scheduler):
+        times = []
+        task = scheduler.schedule_periodic(2.0, lambda: times.append(scheduler.now))
+        scheduler.run_until(5.0)
+        task.cancel()
+        scheduler.run_until(20.0)
+        assert times == [2.0, 4.0]
+
+    def test_first_at_override(self, scheduler):
+        times = []
+        scheduler.schedule_periodic(
+            5.0, lambda: times.append(scheduler.now), first_at=1.0
+        )
+        scheduler.run_until(12.0)
+        assert times == [1.0, 6.0, 11.0]
+
+    def test_invalid_interval(self, scheduler):
+        with pytest.raises(SchedulerError, match="interval"):
+            scheduler.schedule_periodic(0.0, lambda: None)
+
+
+class TestRun:
+    def test_max_events(self, scheduler):
+        for i in range(10):
+            scheduler.schedule_at(float(i), lambda: None)
+        executed = scheduler.run(max_events=4)
+        assert executed == 4
+        assert len(scheduler) == 6
+
+    def test_processed_counter(self, scheduler):
+        scheduler.schedule_at(1.0, lambda: None)
+        scheduler.schedule_at(2.0, lambda: None)
+        scheduler.run()
+        assert scheduler.processed == 2
+
+    def test_step_on_empty_returns_false(self, scheduler):
+        assert scheduler.step() is False

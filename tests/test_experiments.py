@@ -1,0 +1,249 @@
+"""Tests for the experiment harness (specs, runner, figures, reporting).
+
+Figure harnesses are exercised at a tiny custom scale so the whole file
+stays fast; the real-scale runs live in benchmarks/.
+"""
+
+import dataclasses
+
+import pytest
+
+from repro.discovery.deployment import DeploymentProfile
+from repro.experiments.config import (
+    ALGORITHMS,
+    ExperimentScale,
+    FAST_SCALE,
+    PAPER_SCALE,
+    RunSpec,
+    default_spec,
+)
+from repro.experiments.figures import (
+    Fig8Result,
+    FigureResult,
+    Series,
+    run_fig5a,
+    run_fig6,
+    run_fig8,
+)
+from repro.experiments.reporting import (
+    format_fig8_table,
+    format_figure_table,
+    format_report_summary,
+)
+from repro.experiments.runner import make_composer, run_comparison, run_spec
+from repro.simulation.system import SystemConfig
+from repro.simulation.workload import QOS_LEVELS, RateSchedule
+
+TINY_SCALE = ExperimentScale(
+    name="tiny",
+    num_routers=120,
+    duration_s=240.0,
+    adaptability_duration_s=540.0,
+    sampling_period_s=60.0,
+    optimal_max_explored=3000,
+)
+
+
+def tiny_spec(algorithm="ACP", rate=30.0, seed=1):
+    spec = default_spec(
+        scale=TINY_SCALE, algorithm=algorithm, num_nodes=40, rate_per_min=rate,
+        seed=seed,
+    )
+    return dataclasses.replace(
+        spec,
+        system=dataclasses.replace(
+            spec.system, deployment=DeploymentProfile(components_per_node=(2, 3))
+        ),
+    )
+
+
+class TestRunSpec:
+    def test_unknown_algorithm_rejected(self):
+        with pytest.raises(ValueError, match="unknown algorithm"):
+            tiny_spec(algorithm="Dijkstra")
+
+    def test_adaptive_requires_acp(self):
+        spec = tiny_spec(algorithm="Random")
+        with pytest.raises(ValueError, match="only ACP"):
+            dataclasses.replace(spec, adaptive=True)
+
+    def test_with_helpers(self):
+        spec = tiny_spec()
+        assert spec.with_rate(99.0).schedule.rate_at(0) == 99.0
+        assert spec.with_ratio(0.7).probing_ratio == 0.7
+        assert spec.with_qos("high").qos_level.name == "high"
+        assert spec.with_algorithm("Static").algorithm == "Static"
+
+    def test_scales_expose_paper_defaults(self):
+        assert PAPER_SCALE.num_routers == 3200
+        assert PAPER_SCALE.duration_s == 6000.0
+        assert FAST_SCALE.num_routers < PAPER_SCALE.num_routers
+
+    def test_scale_system_builds_config(self):
+        config = FAST_SCALE.system(num_nodes=123, seed=9)
+        assert isinstance(config, SystemConfig)
+        assert config.num_nodes == 123
+        assert config.seed == 9
+
+
+class TestRunner:
+    @pytest.mark.parametrize("algorithm", ALGORITHMS)
+    def test_make_composer_names_match(self, algorithm, small_system):
+        context = small_system.composition_context()
+        composer = make_composer(tiny_spec(algorithm=algorithm), context)
+        assert composer.name == algorithm
+
+    def test_run_spec_end_to_end(self):
+        report = run_spec(tiny_spec())
+        assert report.algorithm == "ACP"
+        assert report.total_requests > 0
+        assert 0.0 <= report.success_rate <= 1.0
+
+    def test_run_comparison_shares_workload(self):
+        reports = run_comparison(tiny_spec(), ("ACP", "Static"))
+        assert set(reports) == {"ACP", "Static"}
+        assert (
+            reports["ACP"].total_requests == reports["Static"].total_requests
+        )
+
+
+class TestFigureHarnesses:
+    def test_fig5a_tiny(self):
+        result = run_fig5a(
+            scale=TINY_SCALE,
+            request_rates=(30.0,),
+            probing_ratios=(0.2, 1.0),
+            num_nodes=80,
+            seed=1,
+        )
+        assert isinstance(result, FigureResult)
+        series = result.series["30 reqs/min"]
+        assert series.xs() == (0.2, 1.0)
+        assert all(0.0 <= y <= 1.0 for y in series.ys())
+
+    def test_fig6_tiny(self):
+        success, overhead = run_fig6(
+            scale=TINY_SCALE,
+            request_rates=(30.0,),
+            algorithms=("ACP", "RP"),
+            num_nodes=80,
+            seed=1,
+        )
+        assert set(success.series) == {"ACP", "RP"}
+        assert set(overhead.series) == {"ACP", "RP"}
+
+    def test_fig8_tiny(self):
+        fixed, adaptive = run_fig8(scale=TINY_SCALE, num_nodes=80, seed=1)
+        assert isinstance(fixed, Fig8Result)
+        assert fixed.target_success_rate is None
+        assert adaptive.target_success_rate is not None
+        assert len(fixed.samples) >= 3
+        # the schedule steps at thirds of the horizon
+        assert fixed.schedule.rate_at(0.0) == 40.0
+        assert fixed.schedule.rate_at(TINY_SCALE.adaptability_duration_s) == 60.0
+
+
+class TestReporting:
+    def test_figure_table_layout(self):
+        result = FigureResult(
+            "6a",
+            "request rate",
+            "success rate (%)",
+            {
+                "ACP": Series("ACP", ((20.0, 0.9), (40.0, 0.8))),
+                "Static": Series("Static", ((20.0, 0.5),)),
+            },
+        )
+        table = format_figure_table(result)
+        assert "Figure 6a" in table
+        lines = table.splitlines()
+        assert "ACP" in lines[1] and "Static" in lines[1]
+        assert "90.0" in table and "80.0" in table
+        # missing point rendered as '-'
+        assert lines[-1].strip().endswith("-")
+
+    def test_overhead_table_not_percent(self):
+        result = FigureResult(
+            "6b", "rate", "overhead", {"ACP": Series("ACP", ((20.0, 123.4),))}
+        )
+        table = format_figure_table(result, percent=False)
+        assert "123.4" in table
+
+    def test_fig8_table(self):
+        from repro.simulation.metrics import WindowSample
+
+        result = Fig8Result(
+            "8b",
+            (WindowSample(300.0, 0.9, 10, 0.3),),
+            RateSchedule.constant(40.0),
+            0.9,
+        )
+        table = format_fig8_table(result)
+        assert "adaptive, target 90%" in table
+        assert "0.3" in table
+
+    def test_report_summary(self):
+        report = run_spec(tiny_spec())
+        table = format_report_summary([report])
+        assert "ACP" in table
+        assert "success (%)" in table
+
+
+class TestExports:
+    def test_figure_to_csv_round_trips_values(self):
+        from repro.experiments.reporting import figure_to_csv
+
+        result = FigureResult(
+            "6a",
+            "rate",
+            "success",
+            {
+                "ACP": Series("ACP", ((20.0, 0.9), (40.0, 0.825))),
+                "Static": Series("Static", ((20.0, 0.5),)),
+            },
+        )
+        csv = figure_to_csv(result)
+        lines = csv.strip().splitlines()
+        assert lines[0] == "rate,ACP,Static"
+        assert lines[1] == "20,0.9,0.5"
+        assert lines[2] == "40,0.825,"  # missing point -> empty cell
+
+    def test_csv_quotes_commas(self):
+        from repro.experiments.reporting import figure_to_csv
+
+        result = FigureResult(
+            "x", "rate, per min", "y", {"A": Series("A", ((1.0, 0.5),))}
+        )
+        assert figure_to_csv(result).startswith('"rate, per min",A')
+
+    def test_fig8_to_csv(self):
+        from repro.experiments.reporting import fig8_to_csv
+        from repro.simulation.metrics import WindowSample
+
+        result = Fig8Result(
+            "8b",
+            (
+                WindowSample(300.0, 0.9, 10, 0.3),
+                WindowSample(600.0, 0.8, 12, None),
+            ),
+            RateSchedule.constant(40.0),
+            0.9,
+        )
+        csv = fig8_to_csv(result)
+        lines = csv.strip().splitlines()
+        assert lines[0] == "time_s,load_reqs_per_min,success_rate,probing_ratio"
+        assert lines[1] == "300,40,0.9,0.300"
+        assert lines[2] == "600,40,0.8,"
+
+    def test_report_to_dict_is_json_serialisable(self):
+        import json
+
+        from repro.experiments.reporting import report_to_dict
+
+        report = run_spec(tiny_spec())
+        payload = report_to_dict(report)
+        parsed = json.loads(json.dumps(payload))
+        assert parsed["algorithm"] == "ACP"
+        assert parsed["total_requests"] == report.total_requests
+        assert 0.0 <= parsed["success_rate"] <= 1.0
+        assert isinstance(parsed["window_samples"], list)

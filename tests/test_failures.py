@@ -1,0 +1,209 @@
+"""Tests for node failure injection and system resilience."""
+
+import random
+
+import pytest
+
+from repro.core import ACPComposer, OptimalComposer, RandomComposer
+from repro.middleware.session import SessionManager, SessionState
+from repro.model.node import InsufficientResourcesError
+from repro.simulation import (
+    FailureInjector,
+    RateSchedule,
+    StreamProcessingSimulator,
+    WorkloadGenerator,
+)
+from tests.conftest import build_small_system, make_request, rv
+
+
+class TestNodeLiveness:
+    def test_nodes_start_alive(self, micro_network):
+        assert all(node.alive for node in micro_network.nodes)
+
+    def test_dead_node_rejects_allocation(self, micro_network):
+        node = micro_network.node(0)
+        node.fail()
+        assert not node.can_allocate(rv(1, 1))
+        with pytest.raises(InsufficientResourcesError, match="down"):
+            node.allocate(rv(1, 1))
+        node.recover()
+        node.allocate(rv(1, 1))
+
+    def test_release_still_works_while_down(self, micro_network):
+        """Terminating sessions must be able to return resources even on a
+        crashed node — bookkeeping survives the crash."""
+        node = micro_network.node(0)
+        node.allocate(rv(5, 50))
+        node.fail()
+        node.release(rv(5, 50))
+        assert node.allocated == rv(0, 0)
+
+
+class TestRoutingAroundFailures:
+    def test_reroute_avoids_down_relay(self, micro_network, micro_router):
+        # v0 -> v2 normally relays through v1 (20 ms < direct 25 ms)
+        assert micro_router.overlay_path(0, 2) == (0, 1)
+        micro_router.set_down_nodes({1})
+        assert micro_router.overlay_path(0, 2) == (2,)  # the direct link
+        assert micro_router.delay(0, 2) == pytest.approx(25.0)
+
+    def test_recovery_restores_routes(self, micro_router):
+        micro_router.set_down_nodes({1})
+        micro_router.set_down_nodes(set())
+        assert micro_router.overlay_path(0, 2) == (0, 1)
+
+    def test_down_endpoint_unreachable(self, micro_router):
+        micro_router.set_down_nodes({1})
+        assert not micro_router.reachable(0, 1)
+
+
+class TestComposersAvoidDeadNodes:
+    def test_acp_routes_around_crash(self, micro_context, micro_request):
+        """With the preferred twin (v2) crashed, ACP must pick v1."""
+        micro_context.network.node(2).fail()
+        micro_context.router.set_down_nodes({2})
+        outcome = ACPComposer(micro_context, probing_ratio=1.0).compose(
+            micro_request
+        )
+        assert outcome.success
+        assert outcome.composition.component(1).node_id == 1
+
+    def test_optimal_routes_around_crash(self, micro_context, micro_request):
+        micro_context.network.node(2).fail()
+        micro_context.router.set_down_nodes({2})
+        outcome = OptimalComposer(micro_context).compose(micro_request)
+        assert outcome.success
+        assert outcome.composition.component(1).node_id == 1
+
+    def test_random_rejects_dead_assignment(self, micro_context, micro_request):
+        """Random may draw the dead candidate; the compatibility check must
+        catch it rather than compose onto a crashed node."""
+        micro_context.network.node(1).fail()
+        micro_context.network.node(2).fail()
+        micro_context.router.set_down_nodes({1, 2})
+        outcome = RandomComposer(micro_context).compose(micro_request)
+        assert not outcome.success
+
+    def test_all_candidates_dead_fails_cleanly(self, micro_context, micro_request):
+        micro_context.network.node(1).fail()
+        micro_context.network.node(2).fail()
+        micro_context.router.set_down_nodes({1, 2})
+        outcome = ACPComposer(micro_context, probing_ratio=1.0).compose(
+            micro_request
+        )
+        assert not outcome.success
+        assert outcome.failure_reason in (
+            "no_qualified_candidates",
+            "probes_dropped",
+        )
+
+
+class TestFailureInjector:
+    @pytest.fixture
+    def harness(self):
+        system = build_small_system(seed=4, num_nodes=12)
+        context = system.composition_context(rng=random.Random(1))
+        composer = ACPComposer(context, probing_ratio=1.0)
+        sessions = SessionManager(composer, system.allocator)
+        injector = FailureInjector(
+            system.network,
+            system.router,
+            fail_probability=0.0,
+            recover_probability=1.0,
+            rng=random.Random(2),
+        )
+        return system, sessions, injector
+
+    def test_crash_terminates_sessions_on_node(self, harness):
+        system, sessions, injector = harness
+        template = system.templates.sample(random.Random(3))
+        request = make_request(
+            template.graph, delay_budget=500.0, loss_budget=0.4
+        )
+        session_id, outcome = sessions.find(request)
+        assert session_id is not None
+        victim = outcome.composition.component(0).node_id
+        event = injector.crash(victim, sessions=sessions, now=10.0)
+        assert event.sessions_killed == 1
+        assert sessions.active_session_count == 0
+        # all resources released everywhere, including the dead node
+        for node in system.network.nodes:
+            assert all(abs(v) < 1e-6 for v in node.allocated.values)
+
+    def test_crash_then_recover_roundtrip(self, harness):
+        system, _sessions, injector = harness
+        injector.crash(3)
+        assert not system.network.node(3).alive
+        assert 3 in system.router.down_nodes
+        injector.recover(3)
+        assert system.network.node(3).alive
+        assert system.router.down_nodes == frozenset()
+
+    def test_double_crash_rejected(self, harness):
+        _system, _sessions, injector = harness
+        injector.crash(3)
+        with pytest.raises(ValueError, match="already down"):
+            injector.crash(3)
+
+    def test_recover_up_node_rejected(self, harness):
+        _system, _sessions, injector = harness
+        with pytest.raises(ValueError, match="not down"):
+            injector.recover(3)
+
+    def test_round_respects_concurrency_cap(self):
+        system = build_small_system(seed=5, num_nodes=12)
+        injector = FailureInjector(
+            system.network,
+            system.router,
+            fail_probability=1.0,  # everything wants to crash
+            recover_probability=0.01,
+            max_concurrent_failures=2,
+            rng=random.Random(3),
+        )
+        injector.run_round(now=0.0)
+        assert len(injector.down_nodes) == 2
+
+    def test_validation(self):
+        system = build_small_system(seed=5, num_nodes=12)
+        with pytest.raises(ValueError, match="fail_probability"):
+            FailureInjector(system.network, system.router, fail_probability=2.0)
+        with pytest.raises(ValueError, match="recover_probability"):
+            FailureInjector(
+                system.network, system.router, recover_probability=0.0
+            )
+
+    def test_simulation_under_churn(self):
+        """A full run with stochastic crashes: the system keeps composing,
+        conserves resources, and records killed sessions."""
+        system = build_small_system(seed=6, num_nodes=12)
+        injector = FailureInjector(
+            system.network,
+            system.router,
+            fail_probability=0.05,
+            recover_probability=0.5,
+            period_s=60.0,
+            rng=random.Random(7),
+        )
+        workload = WorkloadGenerator(
+            system.templates, RateSchedule.constant(30.0), seed=8
+        )
+        composer = ACPComposer(
+            system.composition_context(rng=random.Random(9)), probing_ratio=0.5
+        )
+        simulator = StreamProcessingSimulator(
+            system, composer, workload, sampling_period_s=300.0,
+            failures=injector,
+        )
+        report = simulator.run(1200.0)
+        assert report.total_requests > 0
+        assert len(injector.events) > 0
+        # drain remaining sessions and verify conservation on alive nodes
+        simulator.scheduler.run_until(1200.0 + 1000.0)
+        system.allocator.expire_due(simulator.scheduler.now)
+        for request_id in list(system.allocator.transient_request_ids):
+            system.allocator.cancel_transient(request_id)
+        assert simulator.sessions.active_session_count == 0
+        for node in system.network.nodes:
+            assert all(abs(v) < 1e-6 for v in node.allocated.values)
+        for link in system.network.links:
+            assert abs(link.allocated_kbps) < 1e-6

@@ -1,0 +1,150 @@
+"""Unit tests for function graphs."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.model.function_graph import FunctionGraph
+from repro.model.functions import FunctionCatalog
+
+
+@pytest.fixture
+def path3(catalog):
+    return FunctionGraph.path([catalog[0], catalog[1], catalog[2]])
+
+
+@pytest.fixture
+def dag(catalog):
+    """source → (branch a: f1,f2 | branch b: f3) → join."""
+    return FunctionGraph.two_branch(
+        catalog[0], [catalog[1], catalog[2]], [catalog[3]], catalog[4]
+    )
+
+
+class TestConstruction:
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError, match="at least one"):
+            FunctionGraph([], [])
+
+    def test_unknown_edge_endpoint_rejected(self, catalog):
+        with pytest.raises(ValueError, match="unknown node"):
+            FunctionGraph([catalog[0]], [(0, 1)])
+
+    def test_self_loop_rejected(self, catalog):
+        with pytest.raises(ValueError, match="self-loop"):
+            FunctionGraph([catalog[0], catalog[1]], [(0, 0)])
+
+    def test_cycle_rejected(self, catalog):
+        with pytest.raises(ValueError, match="cycle"):
+            FunctionGraph(
+                [catalog[0], catalog[1], catalog[2]], [(0, 1), (1, 2), (2, 0)]
+            )
+
+    def test_single_node_graph(self, catalog):
+        graph = FunctionGraph([catalog[0]], [])
+        assert graph.sources() == (0,)
+        assert graph.sinks() == (0,)
+        assert graph.is_path()
+
+
+class TestPathShape:
+    def test_path_structure(self, path3):
+        assert path3.is_path()
+        assert path3.edges == ((0, 1), (1, 2))
+        assert path3.sources() == (0,)
+        assert path3.sinks() == (2,)
+
+    def test_topological_order(self, path3):
+        assert path3.topological_order() == (0, 1, 2)
+
+    def test_levels(self, path3):
+        assert path3.levels() == ((0,), (1,), (2,))
+
+    def test_all_paths(self, path3):
+        assert path3.all_paths() == ((0, 1, 2),)
+
+
+class TestDagShape:
+    def test_two_branch_structure(self, dag):
+        assert not dag.is_path()
+        assert dag.sources() == (0,)
+        # nodes: 0=source, 1,2=branch a, 3=branch b, 4=join
+        assert dag.sinks() == (4,)
+        assert set(dag.successors(0)) == {1, 3}
+        assert set(dag.predecessors(4)) == {2, 3}
+
+    def test_two_branch_paths(self, dag):
+        assert set(dag.all_paths()) == {(0, 1, 2, 4), (0, 3, 4)}
+
+    def test_topological_order_respects_edges(self, dag):
+        order = dag.topological_order()
+        position = {n: i for i, n in enumerate(order)}
+        for a, b in dag.edges:
+            assert position[a] < position[b]
+
+    def test_levels_group_by_depth(self, dag):
+        levels = dag.levels()
+        assert levels[0] == (0,)
+        assert 4 in levels[-1]
+
+    def test_empty_branch_rejected(self, catalog):
+        with pytest.raises(ValueError, match="non-empty"):
+            FunctionGraph.two_branch(catalog[0], [], [catalog[1]], catalog[2])
+
+
+class TestStreamRates:
+    def test_path_rates_apply_selectivity(self, catalog):
+        # filtering (0.6) then aggregation (0.3)
+        graph = FunctionGraph.path(
+            [catalog.by_name("filtering-00"), catalog.by_name("aggregation-00")]
+        )
+        rates = graph.input_rates(100.0)
+        assert rates[0] == 100.0
+        assert rates[1] == pytest.approx(60.0)
+
+    def test_edge_rates(self, catalog):
+        graph = FunctionGraph.path(
+            [catalog.by_name("filtering-00"), catalog.by_name("aggregation-00")]
+        )
+        assert graph.edge_rates(100.0)[(0, 1)] == pytest.approx(60.0)
+
+    def test_fanout_duplicates_rate(self, dag):
+        rates = dag.input_rates(100.0)
+        source_out = dag.node(0).function.output_rate(100.0)
+        assert rates[1] == pytest.approx(source_out)
+        assert rates[3] == pytest.approx(source_out)
+
+    def test_join_sums_rates(self, dag):
+        rates = dag.input_rates(100.0)
+        expected = dag.node(2).function.output_rate(
+            rates[2]
+        ) + dag.node(3).function.output_rate(rates[3])
+        assert rates[4] == pytest.approx(expected)
+
+    def test_nonpositive_rate_rejected(self, path3):
+        with pytest.raises(ValueError, match="positive"):
+            path3.input_rates(0.0)
+
+
+@given(st.integers(min_value=1, max_value=8), st.integers(min_value=0, max_value=100))
+def test_random_dag_topological_order_is_valid(n, seed):
+    """Random DAGs (edges only forward) always topo-sort consistently."""
+    import random
+
+    rng = random.Random(seed)
+    catalog = FunctionCatalog(size=max(n, 2))
+    functions = [catalog[i % len(catalog)] for i in range(n)]
+    edges = [
+        (i, j)
+        for i in range(n)
+        for j in range(i + 1, n)
+        if rng.random() < 0.4
+    ]
+    graph = FunctionGraph(functions, edges)
+    order = graph.topological_order()
+    assert sorted(order) == list(range(n))
+    position = {node: index for index, node in enumerate(order)}
+    for a, b in graph.edges:
+        assert position[a] < position[b]
+    # levels partition the nodes
+    flattened = [node for level in graph.levels() for node in level]
+    assert sorted(flattened) == list(range(n))

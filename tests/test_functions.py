@@ -1,0 +1,80 @@
+"""Unit tests for the stream function catalog."""
+
+import pytest
+
+from repro.model.functions import DEFAULT_CATEGORIES, FunctionCatalog, StreamFunction
+
+
+class TestStreamFunction:
+    def test_output_rate_scales_by_selectivity(self, catalog):
+        filtering = catalog.by_name("filtering-00")
+        assert filtering.selectivity == 0.6
+        assert filtering.output_rate(100.0) == pytest.approx(60.0)
+
+    def test_nonpositive_selectivity_rejected(self, catalog):
+        function = catalog[0]
+        with pytest.raises(ValueError, match="selectivity"):
+            StreamFunction(
+                function_id=99,
+                name="bad",
+                category="x",
+                input_formats=function.input_formats,
+                output_formats=function.output_formats,
+                selectivity=0.0,
+            )
+
+    def test_empty_formats_rejected(self):
+        with pytest.raises(ValueError, match="formats"):
+            StreamFunction(
+                function_id=99,
+                name="bad",
+                category="x",
+                input_formats=frozenset(),
+                output_formats=frozenset(["fmt0"]),
+            )
+
+
+class TestFunctionCatalog:
+    def test_default_size_is_80(self):
+        assert len(FunctionCatalog()) == 80
+
+    def test_dense_ids(self, catalog):
+        for index, function in enumerate(catalog):
+            assert function.function_id == index
+
+    def test_categories_cycle(self):
+        catalog = FunctionCatalog(size=16)
+        names = [f.category for f in catalog]
+        expected = [DEFAULT_CATEGORIES[i % 8][0] for i in range(16)]
+        assert names == expected
+
+    def test_shared_format_universe(self, catalog):
+        assert catalog.formats == frozenset({"fmt0", "fmt1"})
+        for function in catalog:
+            assert function.input_formats == catalog.formats
+            assert function.output_formats == catalog.formats
+
+    def test_lookup_by_name(self, catalog):
+        function = catalog.by_name("aggregation-00")
+        assert function.category == "aggregation"
+
+    def test_unknown_name(self, catalog):
+        with pytest.raises(KeyError, match="unknown function"):
+            catalog.by_name("nonexistent-99")
+
+    def test_deterministic_generation(self):
+        a = FunctionCatalog(size=20, num_formats=2)
+        b = FunctionCatalog(size=20, num_formats=2)
+        assert [f.name for f in a] == [f.name for f in b]
+        assert [f.selectivity for f in a] == [f.selectivity for f in b]
+
+    def test_invalid_size(self):
+        with pytest.raises(ValueError, match="positive"):
+            FunctionCatalog(size=0)
+
+    def test_invalid_formats(self):
+        with pytest.raises(ValueError, match="num_formats"):
+            FunctionCatalog(size=4, num_formats=0)
+
+    def test_functions_tuple_matches_iteration(self, catalog):
+        assert catalog.functions == tuple(iter(catalog))

@@ -1,0 +1,104 @@
+"""Unit tests for metrics collection and reports."""
+
+import pytest
+
+from repro.simulation.metrics import MetricsCollector, RequestRecord
+
+
+def record(request_id, success, probes=10, setup=3, t=0.0, reason=None, phi=None):
+    return RequestRecord(
+        request_id=request_id,
+        arrival_time=t,
+        success=success,
+        probe_messages=probes,
+        setup_messages=setup if success else 0,
+        explored=probes,
+        phi=phi,
+        failure_reason=reason,
+    )
+
+
+class TestCollector:
+    def test_success_rate(self):
+        collector = MetricsCollector()
+        for i in range(4):
+            collector.record(record(i, success=i % 2 == 0))
+        assert collector.success_rate() == pytest.approx(0.5)
+        assert collector.success_count() == 2
+
+    def test_empty_success_rate_zero(self):
+        assert MetricsCollector().success_rate() == 0.0
+
+    def test_failure_reasons_tallied(self):
+        collector = MetricsCollector()
+        collector.record(record(0, False, reason="qos_violation"))
+        collector.record(record(1, False, reason="qos_violation"))
+        collector.record(record(2, False, reason="node_resources"))
+        collector.record(record(3, True))
+        assert collector.failure_reasons() == {
+            "qos_violation": 2,
+            "node_resources": 1,
+        }
+
+
+class TestWindows:
+    def test_window_rates_reset_between_samples(self):
+        collector = MetricsCollector()
+        collector.record(record(0, True))
+        collector.record(record(1, False))
+        first = collector.close_window(300.0)
+        assert first.success_rate == pytest.approx(0.5)
+        assert first.requests == 2
+        collector.record(record(2, True))
+        second = collector.close_window(600.0)
+        assert second.success_rate == 1.0
+        assert second.requests == 1
+
+    def test_empty_window_repeats_previous_rate(self):
+        collector = MetricsCollector()
+        collector.record(record(0, False))
+        collector.close_window(300.0)
+        idle = collector.close_window(600.0)
+        assert idle.success_rate == 0.0
+        assert idle.requests == 0
+
+    def test_first_empty_window_is_full_success(self):
+        collector = MetricsCollector()
+        assert collector.close_window(300.0).success_rate == 1.0
+
+    def test_probing_ratio_recorded(self):
+        collector = MetricsCollector()
+        sample = collector.close_window(300.0, probing_ratio=0.3)
+        assert sample.probing_ratio == 0.3
+
+
+class TestReport:
+    def test_aggregates(self):
+        collector = MetricsCollector()
+        collector.record(record(0, True, probes=10, phi=1.5))
+        collector.record(record(1, True, probes=20, phi=2.5))
+        collector.record(record(2, False, probes=5, reason="qos_violation"))
+        report = collector.build_report(
+            "ACP", duration_s=600.0, state_update_messages=60,
+            aggregation_messages=30,
+        )
+        assert report.total_requests == 3
+        assert report.successes == 2
+        assert report.success_rate == pytest.approx(2 / 3)
+        assert report.probe_messages == 35
+        assert report.mean_phi == pytest.approx(2.0)
+        assert report.duration_min == 10.0
+        assert report.probe_messages_per_min == pytest.approx(3.5)
+        assert report.state_messages_per_min == pytest.approx(9.0)
+        assert report.overhead_per_min == pytest.approx(12.5)
+
+    def test_mean_phi_none_without_successes(self):
+        collector = MetricsCollector()
+        collector.record(record(0, False, reason="x"))
+        report = collector.build_report("ACP", 60.0)
+        assert report.mean_phi is None
+
+    def test_zero_requests(self):
+        report = MetricsCollector().build_report("ACP", 60.0)
+        assert report.success_rate == 0.0
+        assert report.total_requests == 0

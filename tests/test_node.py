@@ -1,0 +1,80 @@
+"""Unit tests for stream processing nodes."""
+
+import pytest
+
+from repro.model.node import InsufficientResourcesError, Node
+from tests.conftest import make_component, rv
+
+
+@pytest.fixture
+def node():
+    return Node(0, router_id=42, capacity=rv(10, 100))
+
+
+class TestHosting:
+    def test_host_and_lookup(self, node, catalog):
+        component = make_component(0, catalog[0], 0)
+        node.host(component)
+        assert node.hosts(0)
+        assert node.components == (component,)
+
+    def test_wrong_node_binding_rejected(self, node, catalog):
+        component = make_component(0, catalog[0], node_id=9)
+        with pytest.raises(ValueError, match="bound to node 9"):
+            node.host(component)
+
+    def test_duplicate_hosting_rejected(self, node, catalog):
+        component = make_component(0, catalog[0], 0)
+        node.host(component)
+        with pytest.raises(ValueError, match="already hosted"):
+            node.host(component)
+
+
+class TestResourceState:
+    def test_initially_everything_available(self, node):
+        assert node.available == rv(10, 100)
+        assert node.allocated == rv(0, 0)
+
+    def test_allocate_reduces_availability(self, node):
+        node.allocate(rv(4, 30))
+        assert node.available == rv(6, 70)
+
+    def test_allocate_to_exact_capacity(self, node):
+        node.allocate(rv(10, 100))
+        assert node.available == rv(0, 0)
+
+    def test_overallocation_rejected_without_side_effects(self, node):
+        node.allocate(rv(8, 10))
+        with pytest.raises(InsufficientResourcesError, match="cannot allocate"):
+            node.allocate(rv(3, 10))
+        assert node.available == rv(2, 90)
+
+    def test_release_restores(self, node):
+        node.allocate(rv(4, 30))
+        node.release(rv(4, 30))
+        assert node.available == rv(10, 100)
+
+    def test_release_more_than_allocated_rejected(self, node):
+        node.allocate(rv(1, 1))
+        with pytest.raises(ValueError, match="exceeds"):
+            node.release(rv(2, 2))
+
+    def test_can_allocate(self, node):
+        assert node.can_allocate(rv(10, 100))
+        assert not node.can_allocate(rv(10.5, 100))
+
+
+class TestListeners:
+    def test_listener_fires_on_allocate_and_release(self, node):
+        seen = []
+        node.add_change_listener(lambda n: seen.append(n.available))
+        node.allocate(rv(1, 10))
+        node.release(rv(1, 10))
+        assert seen == [rv(9, 90), rv(10, 100)]
+
+    def test_failed_allocation_does_not_notify(self, node):
+        seen = []
+        node.add_change_listener(lambda n: seen.append(1))
+        with pytest.raises(InsufficientResourcesError):
+            node.allocate(rv(11, 1))
+        assert seen == []

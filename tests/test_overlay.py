@@ -1,0 +1,157 @@
+"""Unit tests for the overlay mesh and overlay links."""
+
+import random
+
+import pytest
+
+from repro.topology.ip_network import IPNetwork
+from repro.topology.overlay import (
+    InsufficientBandwidthError,
+    OverlayLink,
+    OverlayNetwork,
+    build_overlay_network,
+)
+from repro.topology.powerlaw import PowerLawTopologyGenerator
+from repro.model.node import Node
+from tests.conftest import rv
+
+
+@pytest.fixture
+def link():
+    return OverlayLink(0, 2, 1, delay_ms=5.0, loss_rate=0.001, capacity_kbps=1000.0)
+
+
+class TestOverlayLink:
+    def test_endpoints_normalised(self, link):
+        assert link.endpoints == (1, 2)
+
+    def test_same_endpoints_rejected(self):
+        with pytest.raises(ValueError, match="must differ"):
+            OverlayLink(0, 1, 1, 1.0, 0.0, 100.0)
+
+    def test_nonpositive_capacity_rejected(self):
+        with pytest.raises(ValueError, match="capacity"):
+            OverlayLink(0, 0, 1, 1.0, 0.0, 0.0)
+
+    def test_qos_vector(self, link):
+        assert link.qos["delay"] == 5.0
+        assert link.qos["loss_rate"] == 0.001
+
+    def test_allocate_release_cycle(self, link):
+        link.allocate_bandwidth(400.0)
+        assert link.available_kbps == 600.0
+        link.release_bandwidth(400.0)
+        assert link.available_kbps == 1000.0
+
+    def test_overallocation_rejected(self, link):
+        with pytest.raises(InsufficientBandwidthError):
+            link.allocate_bandwidth(1000.1)
+
+    def test_negative_amounts_rejected(self, link):
+        with pytest.raises(ValueError, match="negative"):
+            link.allocate_bandwidth(-1.0)
+        with pytest.raises(ValueError, match="negative"):
+            link.release_bandwidth(-1.0)
+
+    def test_release_more_than_allocated_rejected(self, link):
+        link.allocate_bandwidth(10.0)
+        with pytest.raises(ValueError, match="exceeds"):
+            link.release_bandwidth(20.0)
+
+    def test_other_end(self, link):
+        assert link.other_end(1) == 2
+        assert link.other_end(2) == 1
+        with pytest.raises(ValueError, match="not an endpoint"):
+            link.other_end(5)
+
+    def test_listener_fires(self, link):
+        events = []
+        link.add_change_listener(lambda l: events.append(l.available_kbps))
+        link.allocate_bandwidth(100.0)
+        link.release_bandwidth(50.0)
+        assert events == [900.0, 950.0]
+
+
+class TestOverlayNetwork:
+    def test_micro_adjacency(self, micro_network):
+        assert set(micro_network.neighbors(0)) == {1, 2}
+        assert len(micro_network.adjacent_links(1)) == 2
+
+    def test_link_between(self, micro_network):
+        assert micro_network.link_between(0, 1).link_id == 0
+        assert micro_network.link_between(1, 0).link_id == 0
+
+    def test_path_available_bw_bottleneck(self, micro_network):
+        micro_network.link(0).allocate_bandwidth(9_500.0)
+        assert micro_network.path_available_bw([0, 1]) == pytest.approx(500.0)
+        micro_network.link(0).release_bandwidth(9_500.0)
+
+    def test_empty_path_infinite_bw(self, micro_network):
+        assert micro_network.path_available_bw([]) == float("inf")
+
+    def test_non_dense_node_ids_rejected(self):
+        with pytest.raises(ValueError, match="dense"):
+            OverlayNetwork([Node(1, 0, rv(1, 1))], [])
+
+    def test_duplicate_links_rejected(self):
+        nodes = [Node(0, 0, rv(1, 1)), Node(1, 1, rv(1, 1))]
+        links = [
+            OverlayLink(0, 0, 1, 1.0, 0.0, 100.0),
+            OverlayLink(1, 1, 0, 1.0, 0.0, 100.0),
+        ]
+        with pytest.raises(ValueError, match="duplicate"):
+            OverlayNetwork(nodes, links)
+
+
+class TestBuildOverlayNetwork:
+    @pytest.fixture(scope="class")
+    def ip(self):
+        return IPNetwork(PowerLawTopologyGenerator(num_routers=120, seed=2).generate())
+
+    def test_requested_size(self, ip):
+        network = build_overlay_network(ip, 20, rng=random.Random(1))
+        assert len(network) == 20
+
+    def test_minimum_neighbor_degree(self, ip):
+        network = build_overlay_network(
+            ip, 20, neighbors_per_node=4, rng=random.Random(1)
+        )
+        # every node picked 4 nearest peers; union can only add degree
+        assert all(len(network.neighbors(n.node_id)) >= 4 for n in network.nodes)
+
+    def test_distinct_routers(self, ip):
+        network = build_overlay_network(ip, 30, rng=random.Random(3))
+        routers = [node.router_id for node in network.nodes]
+        assert len(set(routers)) == len(routers)
+
+    def test_link_delay_matches_ip_distance(self, ip):
+        network = build_overlay_network(ip, 10, rng=random.Random(4))
+        link = network.links[0]
+        expected = ip.delay(
+            network.node(link.node_a).router_id,
+            network.node(link.node_b).router_id,
+        )
+        assert link.delay_ms == pytest.approx(expected)
+
+    def test_too_many_nodes_rejected(self, ip):
+        with pytest.raises(ValueError, match="cannot place"):
+            build_overlay_network(ip, 500, rng=random.Random(0))
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_mesh_always_connected(self, ip, seed):
+        """k-nearest unions can isolate clusters; the builder must bridge
+        them — an unreachable node pair would make compositions
+        structurally impossible."""
+        from repro.topology.routing import OverlayRouter
+
+        network = build_overlay_network(
+            ip, 25, neighbors_per_node=2, rng=random.Random(seed)
+        )
+        router = OverlayRouter(network)
+        assert all(router.reachable(0, n) for n in range(len(network)))
+
+    def test_deterministic_given_rng(self, ip):
+        a = build_overlay_network(ip, 15, rng=random.Random(9))
+        b = build_overlay_network(ip, 15, rng=random.Random(9))
+        assert [l.endpoints for l in a.links] == [l.endpoints for l in b.links]
+        assert [n.capacity for n in a.nodes] == [n.capacity for n in b.nodes]

@@ -1,0 +1,115 @@
+"""Unit tests for the power-law topology generator."""
+
+import random
+
+import pytest
+
+from repro.topology.powerlaw import (
+    PowerLawTopologyGenerator,
+    RouterGraph,
+    RouterLink,
+    sample_powerlaw_degrees,
+)
+
+
+class TestDegreeSampling:
+    def test_even_sum(self):
+        rng = random.Random(0)
+        degrees = sample_powerlaw_degrees(rng, 101)
+        assert sum(degrees) % 2 == 0
+
+    def test_bounds_respected(self):
+        rng = random.Random(1)
+        degrees = sample_powerlaw_degrees(rng, 500, min_degree=2, max_degree=20)
+        # the parity fix can bump the first entry by one
+        assert all(2 <= d <= 21 for d in degrees)
+
+    def test_heavy_tail(self):
+        """A power law produces a max degree far above the median."""
+        rng = random.Random(2)
+        degrees = sample_powerlaw_degrees(rng, 3000, exponent=2.2)
+        degrees.sort()
+        assert degrees[-1] >= 10 * degrees[len(degrees) // 2]
+
+    def test_low_degree_dominates(self):
+        rng = random.Random(3)
+        degrees = sample_powerlaw_degrees(rng, 3000, exponent=2.2)
+        assert sum(1 for d in degrees if d == 1) > len(degrees) / 3
+
+    def test_too_few_routers_rejected(self):
+        with pytest.raises(ValueError, match="at least 2"):
+            sample_powerlaw_degrees(random.Random(0), 1)
+
+    def test_bad_min_degree(self):
+        with pytest.raises(ValueError, match="min_degree"):
+            sample_powerlaw_degrees(random.Random(0), 10, min_degree=0)
+
+    def test_bad_degree_range(self):
+        with pytest.raises(ValueError, match="max_degree"):
+            sample_powerlaw_degrees(random.Random(0), 10, min_degree=5, max_degree=3)
+
+
+class TestGenerator:
+    @pytest.fixture(scope="class")
+    def graph(self):
+        return PowerLawTopologyGenerator(num_routers=400, seed=7).generate()
+
+    def test_connected(self, graph):
+        assert graph.is_connected()
+
+    def test_router_count(self, graph):
+        assert graph.num_routers == 400
+
+    def test_no_self_loops_or_duplicates(self, graph):
+        seen = set()
+        for link in graph.links:
+            assert link.router_a != link.router_b
+            pair = (link.router_a, link.router_b)
+            assert pair not in seen
+            assert link.router_a < link.router_b
+            seen.add(pair)
+
+    def test_link_attributes_in_range(self, graph):
+        for link in graph.links:
+            assert 1.0 <= link.delay_ms <= 10.0
+            assert 50_000.0 <= link.bandwidth_kbps <= 200_000.0
+            assert 0.0 <= link.loss_rate <= 0.001
+
+    def test_deterministic(self):
+        a = PowerLawTopologyGenerator(num_routers=200, seed=3).generate()
+        b = PowerLawTopologyGenerator(num_routers=200, seed=3).generate()
+        assert [(l.router_a, l.router_b, l.delay_ms) for l in a.links] == [
+            (l.router_a, l.router_b, l.delay_ms) for l in b.links
+        ]
+
+    def test_seeds_differ(self):
+        a = PowerLawTopologyGenerator(num_routers=200, seed=3).generate()
+        b = PowerLawTopologyGenerator(num_routers=200, seed=4).generate()
+        assert [(l.router_a, l.router_b) for l in a.links] != [
+            (l.router_a, l.router_b) for l in b.links
+        ]
+
+    def test_degree_sequence_matches_adjacency(self, graph):
+        total_degree = sum(graph.degree_sequence())
+        assert total_degree == 2 * len(graph.links)
+
+    def test_heavy_tailed_at_scale(self):
+        graph = PowerLawTopologyGenerator(num_routers=2000, seed=11).generate()
+        degrees = sorted(graph.degree_sequence())
+        assert degrees[-1] > 20  # hubs exist
+        assert degrees[len(degrees) // 2] <= 2  # most routers are leaves
+
+
+class TestRouterGraph:
+    def test_neighbors(self):
+        links = (
+            RouterLink(0, 0, 1, 1.0, 1000.0, 0.0),
+            RouterLink(1, 1, 2, 1.0, 1000.0, 0.0),
+        )
+        graph = RouterGraph(3, links)
+        assert set(graph.neighbors(1)) == {0, 2}
+        assert graph.degree(0) == 1
+
+    def test_disconnected_detected(self):
+        graph = RouterGraph(3, (RouterLink(0, 0, 1, 1.0, 1000.0, 0.0),))
+        assert not graph.is_connected()

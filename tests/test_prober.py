@@ -1,0 +1,220 @@
+"""Unit and behavioural tests for the probing protocol (ACP/SP/RP)."""
+
+import pytest
+
+from repro.core.acp import ACPComposer
+from repro.core.baselines import RandomProbingComposer, SelectiveProbingComposer
+from repro.core.probe import Probe, ProbeFactory
+from repro.core.prober import FinalSelectionPolicy, HopSelectionPolicy
+from repro.model.function_graph import FunctionGraph
+from tests.conftest import make_request, qv, rv
+
+
+class TestProbe:
+    def test_initial_probe_empty(self, micro_request):
+        probe = ProbeFactory().initial(micro_request, 0.3)
+        assert probe.assignment == {}
+        assert probe.hops == 0
+        assert probe.probing_ratio == 0.3
+
+    def test_spawn_inherits_and_extends(self, micro_request, micro_registry):
+        factory = ProbeFactory()
+        parent = factory.initial(micro_request, 0.3)
+        child = parent.spawn(
+            factory.next_id(),
+            0,
+            micro_registry.component(0),
+            qv(10.0, 0.001),
+            rv(100, 1000),
+            {},
+        )
+        assert child.covers(0)
+        assert child.component_of(0).component_id == 0
+        assert child.hops == 1
+        assert child.parent_id == parent.probe_id
+        assert child.collected_node_state[0] == rv(100, 1000)
+        # parent untouched
+        assert parent.assignment == {}
+
+
+class TestACPComposition:
+    def test_success_on_micro_system(self, micro_context, micro_request):
+        composer = ACPComposer(micro_context, probing_ratio=1.0)
+        outcome = composer.compose(micro_request)
+        assert outcome.success
+        assert outcome.composition is not None
+        assert outcome.phi is not None and outcome.phi > 0
+        assert outcome.probe_messages > 0
+
+    def test_prefers_less_loaded_twin(self, micro_context, micro_request):
+        """F1 has candidates on v1 (50 cpu) and v2 (100 cpu); the φ-minimal
+        choice is the bigger/idler node v2 when link costs allow."""
+        composer = ACPComposer(micro_context, probing_ratio=1.0)
+        outcome = composer.compose(micro_request)
+        chosen = outcome.composition.component(1)
+        assert chosen.node_id == 2
+
+    def test_load_shifts_choice(self, micro_context, micro_request):
+        """Loading v2 heavily must flip the choice to v1."""
+        micro_context.network.node(2).allocate(rv(90, 900))
+        composer = ACPComposer(micro_context, probing_ratio=1.0)
+        outcome = composer.compose(micro_request)
+        assert outcome.composition.component(1).node_id == 1
+
+    def test_probing_ratio_limits_messages(self, micro_context, micro_request):
+        full = ACPComposer(micro_context, probing_ratio=1.0).compose(micro_request)
+        micro_context.allocator.cancel_transient(micro_request.request_id)
+        narrow_context = micro_context
+        narrow = ACPComposer(narrow_context, probing_ratio=0.5).compose(micro_request)
+        assert narrow.probe_messages <= full.probe_messages
+
+    def test_no_candidates_fails(self, micro_context, catalog):
+        graph = FunctionGraph.path([catalog[7]])  # nothing deployed for F7
+        request = make_request(graph)
+        outcome = ACPComposer(micro_context).compose(request)
+        assert not outcome.success
+        assert outcome.failure_reason == "no_candidates"
+
+    def test_qos_budget_too_tight_fails(self, micro_context, catalog):
+        graph = FunctionGraph.path([catalog[0], catalog[1]])
+        request = make_request(graph, delay_budget=5.0)  # < any component delay
+        outcome = ACPComposer(micro_context, probing_ratio=1.0).compose(request)
+        assert not outcome.success
+        assert outcome.failure_reason in (
+            "no_qualified_candidates",
+            "no_qualified_composition",
+        )
+
+    def test_failure_cancels_transient_reservations(self, micro_context, catalog):
+        graph = FunctionGraph.path([catalog[0], catalog[1]])
+        # F0 alone (10 ms) fits, but any F1 extension (≥ 30 ms) does not
+        request = make_request(graph, delay_budget=25.0)
+        ACPComposer(micro_context, probing_ratio=1.0).compose(request)
+        assert micro_context.allocator.transient_request_ids == ()
+        for node in micro_context.network.nodes:
+            assert node.allocated == rv(0, 0)
+
+    def test_success_keeps_reservations_for_commit(
+        self, micro_context, micro_request
+    ):
+        composer = ACPComposer(micro_context, probing_ratio=1.0)
+        outcome = composer.compose(micro_request)
+        assert outcome.success
+        assert micro_request.request_id in (
+            micro_context.allocator.transient_request_ids
+        )
+        # commit converts them into the session allocation
+        micro_context.allocator.commit(outcome.composition)
+        assert micro_context.allocator.transient_request_ids == ()
+
+    def test_resource_starved_node_skipped(self, micro_context, micro_request):
+        """With v1 and v2 both out of resources, composition must fail."""
+        micro_context.network.node(1).allocate(rv(49, 499))
+        micro_context.network.node(2).allocate(rv(99, 999))
+        outcome = ACPComposer(micro_context, probing_ratio=1.0).compose(micro_request)
+        assert not outcome.success
+
+    def test_stale_state_can_mislead_selection(self, micro_context, micro_request):
+        """Load v2 *below* the update threshold after a refresh: the global
+        state still advertises it as idle, and the probe discovers the truth
+        only on arrival (the hybrid approach's trade-off)."""
+        node = micro_context.network.node(2)
+        node.allocate(rv(9, 90))  # below 10% threshold: global state stale
+        stale = micro_context.global_state.node_available(2)
+        assert stale == rv(100, 1000)  # still the old value
+        composer = ACPComposer(micro_context, probing_ratio=1.0)
+        outcome = composer.compose(micro_request)
+        # precise final selection still accounts for the true load
+        assert outcome.success
+
+
+class TestVariants:
+    def test_sp_configuration(self, micro_context):
+        sp = SelectiveProbingComposer(micro_context)
+        assert sp.hop_policy is HopSelectionPolicy.GUIDED
+        assert sp.final_policy is FinalSelectionPolicy.RANDOM
+        assert sp.use_global_state
+
+    def test_rp_configuration(self, micro_context):
+        rp = RandomProbingComposer(micro_context)
+        assert rp.hop_policy is HopSelectionPolicy.RANDOM
+        assert rp.final_policy is FinalSelectionPolicy.PHI
+        assert not rp.use_global_state
+
+    def test_sp_succeeds_on_micro(self, micro_context, micro_request):
+        outcome = SelectiveProbingComposer(micro_context, probing_ratio=1.0).compose(
+            micro_request
+        )
+        assert outcome.success
+
+    def test_rp_succeeds_on_micro(self, micro_context, micro_request):
+        outcome = RandomProbingComposer(micro_context, probing_ratio=1.0).compose(
+            micro_request
+        )
+        assert outcome.success
+
+    def test_invalid_ratio_rejected(self, micro_context):
+        with pytest.raises(ValueError, match="probing ratio"):
+            ACPComposer(micro_context, probing_ratio=0.0)
+
+    def test_tuner_attachment(self, micro_context):
+        from repro.core.tuning import ProbingRatioTuner
+
+        tuner = ProbingRatioTuner(target_success_rate=0.9)
+        composer = ACPComposer(micro_context, tuner=tuner)
+        assert composer.current_probing_ratio() == tuner.current_ratio()
+        composer.detach_tuner()
+        assert composer.current_probing_ratio() == composer.probing_ratio
+
+
+class TestBoundedProbing:
+    """Footnote 10's bounded composition probing (BCP)."""
+
+    def test_composes_on_micro_system(self, micro_context, micro_request):
+        from repro.core.bounded import BoundedProbingComposer
+
+        outcome = BoundedProbingComposer(
+            micro_context, probe_budget_total=4
+        ).compose(micro_request)
+        assert outcome.success
+
+    def test_total_probes_bounded_by_budget(self):
+        """Across random small systems, probe messages never exceed the
+        request budget plus the returning probes."""
+        import random as _random
+
+        from repro.core.bounded import BoundedProbingComposer
+        from tests.conftest import build_small_system, make_request
+
+        for seed in range(5):
+            system = build_small_system(seed=seed, num_nodes=12)
+            context = system.composition_context(rng=_random.Random(seed))
+            composer = BoundedProbingComposer(context, probe_budget_total=6)
+            template = system.templates.sample(_random.Random(seed + 50))
+            request = make_request(
+                template.graph, delay_budget=500.0, loss_budget=0.4
+            )
+            outcome = composer.compose(request)
+            context.allocator.cancel_transient(request.request_id)
+            # per-level spawns sum to <= budget; returns add <= one level
+            assert outcome.probe_messages <= 2 * composer.probe_budget_total
+
+    def test_budget_split_clamps_to_pool(self, micro_context, micro_request):
+        from repro.core.bounded import BoundedProbingComposer
+
+        composer = BoundedProbingComposer(micro_context, probe_budget_total=100)
+        # F0 has one candidate, F1 has two: shares clamp to pool sizes
+        assert composer._function_budget(micro_request, 1.0, 1) == 1
+        assert composer._function_budget(micro_request, 1.0, 2) == 2
+
+    def test_minimum_one_probe_per_function(self, micro_context, micro_request):
+        from repro.core.bounded import BoundedProbingComposer
+
+        composer = BoundedProbingComposer(micro_context, probe_budget_total=1)
+        assert composer._function_budget(micro_request, 1.0, 5) == 1
+
+    def test_invalid_budget(self, micro_context):
+        from repro.core.bounded import BoundedProbingComposer
+
+        with pytest.raises(ValueError, match="probe_budget_total"):
+            BoundedProbingComposer(micro_context, probe_budget_total=0)

@@ -1,0 +1,87 @@
+"""Unit tests for stream processing requests."""
+
+import pytest
+
+from repro.model.function_graph import FunctionGraph
+from repro.model.request import StreamRequest, derive_bandwidth_requirements
+from tests.conftest import make_request, qv, rv
+
+
+@pytest.fixture
+def graph(catalog):
+    return FunctionGraph.path([catalog[0], catalog[1], catalog[2]])
+
+
+class TestValidation:
+    def test_valid_request(self, graph):
+        request = make_request(graph)
+        assert request.end_time == request.arrival_time + request.duration
+
+    def test_missing_node_requirement(self, graph):
+        with pytest.raises(ValueError, match="node_requirements must cover"):
+            StreamRequest(
+                request_id=0,
+                function_graph=graph,
+                qos_requirement=qv(100, 0.1),
+                node_requirements={0: rv(1, 1)},
+                bandwidth_requirements=derive_bandwidth_requirements(graph, 10.0),
+                stream_rate=10.0,
+            )
+
+    def test_missing_bandwidth_requirement(self, graph):
+        with pytest.raises(ValueError, match="bandwidth_requirements must cover"):
+            StreamRequest(
+                request_id=0,
+                function_graph=graph,
+                qos_requirement=qv(100, 0.1),
+                node_requirements={i: rv(1, 1) for i in range(3)},
+                bandwidth_requirements={(0, 1): 10.0},
+                stream_rate=10.0,
+            )
+
+    def test_negative_bandwidth_rejected(self, graph):
+        bad = derive_bandwidth_requirements(graph, 10.0)
+        bad[(0, 1)] = -1.0
+        with pytest.raises(ValueError, match="negative bandwidth"):
+            StreamRequest(
+                request_id=0,
+                function_graph=graph,
+                qos_requirement=qv(100, 0.1),
+                node_requirements={i: rv(1, 1) for i in range(3)},
+                bandwidth_requirements=bad,
+                stream_rate=10.0,
+            )
+
+    def test_nonpositive_stream_rate_rejected(self, graph):
+        # rejected while deriving bandwidth requirements from the rate
+        with pytest.raises(ValueError, match="positive"):
+            make_request(graph, stream_rate=0.0)
+
+    def test_nonpositive_duration_rejected(self, graph):
+        with pytest.raises(ValueError, match="duration"):
+            make_request(graph, duration=0.0)
+
+
+class TestAccessors:
+    def test_requirement_for(self, graph):
+        request = make_request(graph, cpu=3.0, memory=7.0)
+        assert request.requirement_for(1) == rv(3.0, 7.0)
+
+    def test_bandwidth_for(self, graph):
+        request = make_request(graph, stream_rate=100.0, kbps_per_unit=1.0)
+        expected = graph.edge_rates(100.0)[(0, 1)]
+        assert request.bandwidth_for((0, 1)) == pytest.approx(expected)
+
+
+class TestDeriveBandwidth:
+    def test_scales_with_kbps_per_unit(self, graph):
+        single = derive_bandwidth_requirements(graph, 100.0, kbps_per_unit=1.0)
+        double = derive_bandwidth_requirements(graph, 100.0, kbps_per_unit=2.0)
+        for edge in graph.edges:
+            assert double[edge] == pytest.approx(2 * single[edge])
+
+    def test_follows_edge_rates(self, graph):
+        requirements = derive_bandwidth_requirements(graph, 50.0, kbps_per_unit=3.0)
+        rates = graph.edge_rates(50.0)
+        for edge in graph.edges:
+            assert requirements[edge] == pytest.approx(3.0 * rates[edge])

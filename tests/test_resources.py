@@ -1,0 +1,121 @@
+"""Unit tests for resource vectors and congestion terms."""
+
+import math
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.model.resources import (
+    DEFAULT_RESOURCE_SCHEMA,
+    ResourceSchema,
+    ResourceSpec,
+    ResourceVector,
+    congestion_terms,
+)
+
+
+def rv(cpu, memory):
+    return ResourceVector(DEFAULT_RESOURCE_SCHEMA, [cpu, memory])
+
+
+class TestResourceSchema:
+    def test_default_dimensions(self):
+        assert DEFAULT_RESOURCE_SCHEMA.names == ("cpu", "memory")
+
+    def test_duplicate_names_rejected(self):
+        with pytest.raises(ValueError, match="duplicate"):
+            ResourceSchema([ResourceSpec("cpu"), ResourceSpec("cpu")])
+
+    def test_unknown_dimension(self):
+        with pytest.raises(KeyError, match="unknown resource"):
+            DEFAULT_RESOURCE_SCHEMA.index_of("gpu")
+
+
+class TestResourceVector:
+    def test_arity_checked(self):
+        with pytest.raises(ValueError, match="expected 2"):
+            ResourceVector(DEFAULT_RESOURCE_SCHEMA, [1.0])
+
+    def test_add_subtract(self):
+        total = rv(3, 10) + rv(2, 5)
+        assert total.values == (5.0, 15.0)
+        assert (total - rv(1, 1)).values == (4.0, 14.0)
+
+    def test_scaled(self):
+        assert rv(2, 10).scaled(0.5).values == (1.0, 5.0)
+
+    def test_named_access(self):
+        assert rv(3, 7)["memory"] == 7.0
+
+    def test_negative_intermediate_allowed(self):
+        residual = rv(1, 1) - rv(2, 2)
+        assert not residual.is_nonnegative()
+
+    def test_covers(self):
+        assert rv(10, 100).covers(rv(10, 100))
+        assert not rv(10, 100).covers(rv(10.1, 100))
+
+    def test_schema_mismatch(self):
+        other = ResourceVector(ResourceSchema([ResourceSpec("cpu")]), [1.0])
+        with pytest.raises(ValueError, match="schema mismatch"):
+            rv(1, 1) + other
+
+    def test_zero(self):
+        assert ResourceVector.zero().values == (0.0, 0.0)
+
+    def test_equality_hash(self):
+        assert rv(1, 2) == rv(1, 2)
+        assert hash(rv(1, 2)) == hash(rv(1, 2))
+        assert rv(1, 2) != rv(2, 1)
+
+
+class TestCongestionTerms:
+    def test_fig4_worked_example(self):
+        """The paper's Fig. 4: memory requirements 20/10/40 MB against
+        availabilities 50/60 MB contribute 20/50, 10/60, 40/60 — i.e.
+        required/available per dimension (with zero-requirement dimensions
+        contributing nothing)."""
+        schema = ResourceSchema([ResourceSpec("memory")])
+        req = lambda m: ResourceVector(schema, [m])
+        avail = lambda m: ResourceVector(schema, [m])
+        assert congestion_terms(req(20), avail(50)) == (pytest.approx(20 / 50),)
+        assert congestion_terms(req(10), avail(60)) == (pytest.approx(10 / 60),)
+        assert congestion_terms(req(40), avail(60)) == (pytest.approx(40 / 60),)
+
+    def test_zero_requirement_contributes_zero(self):
+        assert congestion_terms(rv(0, 0), rv(0, 100)) == (0.0, 0.0)
+
+    def test_requirement_against_zero_availability_is_inf(self):
+        assert congestion_terms(rv(1, 0), rv(0, 10)) == (math.inf, 0.0)
+
+    def test_residual_identity(self):
+        """r/(rr + r) with rr = available - required equals r/available."""
+        required, available = rv(5, 20), rv(50, 200)
+        residual = available - required
+        expected = tuple(
+            r / (res + r)
+            for r, res in zip(required.values, residual.values)
+        )
+        assert congestion_terms(required, available) == pytest.approx(expected)
+
+
+positive = st.floats(min_value=0.01, max_value=1e6, allow_nan=False)
+
+
+@given(positive, positive, positive, positive)
+def test_congestion_terms_bounded_by_one_when_feasible(r1, r2, extra1, extra2):
+    """If availability covers the requirement, each term is in (0, 1]."""
+    required = rv(r1, r2)
+    available = rv(r1 + extra1, r2 + extra2)
+    terms = congestion_terms(required, available)
+    assert all(0.0 < t <= 1.0 for t in terms)
+
+
+@given(positive, positive, positive)
+def test_congestion_monotone_in_load(requirement, available, load):
+    """Less availability (more load) strictly increases the term."""
+    schema = ResourceSchema([ResourceSpec("cpu")])
+    req = ResourceVector(schema, [requirement])
+    high = ResourceVector(schema, [available + load])
+    low = ResourceVector(schema, [available])
+    assert congestion_terms(req, low)[0] >= congestion_terms(req, high)[0]

@@ -1,0 +1,106 @@
+"""Differential tests: our routing vs networkx on random topologies.
+
+The overlay router (scipy Dijkstra + predecessor walks + caches) is the
+substrate every virtual link rests on; these tests cross-check it against
+an independent implementation (networkx) on randomised meshes, including
+after failure-driven recomputation.
+"""
+
+import random
+
+import networkx as nx
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.model.node import Node
+from repro.topology.overlay import OverlayLink, OverlayNetwork
+from repro.topology.routing import OverlayRouter
+from tests.conftest import rv
+
+
+def random_mesh(seed: int, num_nodes: int = 12, extra_edges: int = 10):
+    """A connected random overlay with random delays."""
+    rng = random.Random(seed)
+    nodes = [Node(i, i, rv(10, 10)) for i in range(num_nodes)]
+    pairs = set()
+    order = list(range(1, num_nodes))
+    rng.shuffle(order)
+    previous = 0
+    for node in order:  # random spanning tree for connectivity
+        pairs.add((min(previous, node), max(previous, node)))
+        previous = rng.choice([previous, node])
+    while len(pairs) < num_nodes - 1 + extra_edges:
+        a, b = rng.randrange(num_nodes), rng.randrange(num_nodes)
+        if a != b:
+            pairs.add((min(a, b), max(a, b)))
+    links = [
+        OverlayLink(i, a, b, delay_ms=rng.uniform(1.0, 50.0), loss_rate=0.001,
+                    capacity_kbps=10_000.0)
+        for i, (a, b) in enumerate(sorted(pairs))
+    ]
+    return OverlayNetwork(nodes, links)
+
+
+def to_networkx(network: OverlayNetwork, excluded=frozenset()) -> nx.Graph:
+    graph = nx.Graph()
+    graph.add_nodes_from(
+        n.node_id for n in network.nodes if n.node_id not in excluded
+    )
+    for link in network.links:
+        if link.node_a in excluded or link.node_b in excluded:
+            continue
+        graph.add_edge(link.node_a, link.node_b, weight=link.delay_ms)
+    return graph
+
+
+@given(st.integers(min_value=0, max_value=500))
+@settings(max_examples=40, deadline=None)
+def test_distances_match_networkx(seed):
+    network = random_mesh(seed)
+    router = OverlayRouter(network)
+    reference = dict(nx.all_pairs_dijkstra_path_length(to_networkx(network)))
+    for a in range(len(network)):
+        for b in range(len(network)):
+            assert router.delay(a, b) == pytest.approx(reference[a][b])
+
+
+@given(st.integers(min_value=0, max_value=500))
+@settings(max_examples=25, deadline=None)
+def test_extracted_paths_have_optimal_length(seed):
+    """The predecessor-walk path's total delay equals the distance."""
+    network = random_mesh(seed)
+    router = OverlayRouter(network)
+    rng = random.Random(seed)
+    for _ in range(10):
+        a, b = rng.randrange(len(network)), rng.randrange(len(network))
+        path = router.overlay_path(a, b)
+        total = sum(network.link(i).delay_ms for i in path)
+        assert total == pytest.approx(router.delay(a, b))
+        # and the path is actually a walk from a to b
+        position = a
+        for link_id in path:
+            position = network.link(link_id).other_end(position)
+        assert position == b
+
+
+@given(
+    st.integers(min_value=0, max_value=300),
+    st.sets(st.integers(min_value=0, max_value=11), max_size=4),
+)
+@settings(max_examples=25, deadline=None)
+def test_distances_match_networkx_after_failures(seed, down):
+    network = random_mesh(seed)
+    router = OverlayRouter(network)
+    router.set_down_nodes(down)
+    reference_graph = to_networkx(network, excluded=frozenset(down))
+    reference = dict(nx.all_pairs_dijkstra_path_length(reference_graph))
+    for a in range(len(network)):
+        for b in range(len(network)):
+            if a in down or b in down:
+                if a != b:
+                    assert not router.reachable(a, b)
+                continue
+            if b in reference.get(a, {}):
+                assert router.delay(a, b) == pytest.approx(reference[a][b])
+            else:
+                assert not router.reachable(a, b)

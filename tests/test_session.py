@@ -1,0 +1,124 @@
+"""Unit tests for the Find/Process/Close session middleware."""
+
+import pytest
+
+from repro.core.acp import ACPComposer
+from repro.middleware.session import SessionError, SessionManager, SessionState
+from repro.model.function_graph import FunctionGraph
+from tests.conftest import make_request, rv
+
+
+@pytest.fixture
+def manager(micro_context):
+    composer = ACPComposer(micro_context, probing_ratio=1.0)
+    return SessionManager(composer, micro_context.allocator, clock=lambda: 42.0)
+
+
+class TestFind:
+    def test_successful_find_creates_session(self, manager, micro_request):
+        session_id, outcome = manager.find(micro_request)
+        assert session_id is not None
+        assert outcome.success
+        session = manager.session(session_id)
+        assert session.state is SessionState.COMPOSED
+        assert session.created_at == 42.0
+        assert manager.active_session_count == 1
+
+    def test_failed_find_returns_null_session(self, manager, micro_context, catalog):
+        graph = FunctionGraph.path([catalog[6]])  # undeployed function
+        session_id, outcome = manager.find(make_request(graph))
+        assert session_id is None
+        assert not outcome.success
+        assert manager.active_session_count == 0
+        # no stray reservations
+        assert micro_context.allocator.transient_request_ids == ()
+
+    def test_find_commits_resources(self, manager, micro_context, micro_request):
+        manager.find(micro_request)
+        assert micro_context.allocator.active_session_count == 1
+
+    def test_session_ids_unique(self, manager, micro_request, catalog):
+        sid1, _ = manager.find(micro_request)
+        second = make_request(
+            FunctionGraph.path([catalog[0], catalog[1]]), request_id=1
+        )
+        sid2, _ = manager.find(second)
+        assert sid1 != sid2
+
+
+class TestProcess:
+    def test_processing_reports_stream_transform(self, manager, micro_request):
+        session_id, _ = manager.find(micro_request)
+        result = manager.process(session_id, units_in=1000.0)
+        assert result.units_in == 1000.0
+        # two stages with selectivities from the catalog apply; output must
+        # be positive and reflect loss
+        assert 0.0 < result.units_out < 1000.0
+        assert result.expected_delay_ms > 0.0
+        assert 0.0 <= result.expected_loss_rate < 1.0
+
+    def test_processing_accumulates(self, manager, micro_request):
+        session_id, _ = manager.find(micro_request)
+        manager.process(session_id, 10.0)
+        manager.process(session_id, 5.0)
+        assert manager.session(session_id).units_processed == 15.0
+        assert manager.session(session_id).state is SessionState.PROCESSING
+
+    def test_zero_units(self, manager, micro_request):
+        session_id, _ = manager.find(micro_request)
+        result = manager.process(session_id, 0.0)
+        assert result.units_out == 0.0
+
+    def test_negative_units_rejected(self, manager, micro_request):
+        session_id, _ = manager.find(micro_request)
+        with pytest.raises(ValueError, match="non-negative"):
+            manager.process(session_id, -1.0)
+
+    def test_unknown_session_rejected(self, manager):
+        with pytest.raises(SessionError, match="unknown or closed"):
+            manager.process(999, 1.0)
+
+
+class TestClose:
+    def test_close_releases_resources(self, manager, micro_context, micro_request):
+        before = [node.available for node in micro_context.network.nodes]
+        session_id, _ = manager.find(micro_request)
+        manager.close(session_id)
+        after = [node.available for node in micro_context.network.nodes]
+        assert before == after
+        assert manager.active_session_count == 0
+
+    def test_closed_session_unusable(self, manager, micro_request):
+        session_id, _ = manager.find(micro_request)
+        manager.close(session_id)
+        with pytest.raises(SessionError):
+            manager.process(session_id, 1.0)
+        with pytest.raises(SessionError):
+            manager.close(session_id)
+
+    def test_close_if_open_tolerates_missing(self, manager, micro_request):
+        session_id, _ = manager.find(micro_request)
+        assert manager.close_if_open(session_id) is True
+        assert manager.close_if_open(session_id) is False
+        assert manager.close_if_open(9999) is False
+
+
+class TestTermination:
+    def test_terminate_by_node(self, manager, micro_context, micro_request):
+        session_id, outcome = manager.find(micro_request)
+        node_id = outcome.composition.component(0).node_id
+        killed = manager.terminate_sessions_using_node(node_id)
+        assert killed == 1
+        assert manager.active_session_count == 0
+        for node in micro_context.network.nodes:
+            assert all(abs(v) < 1e-9 for v in node.allocated.values)
+
+    def test_terminate_unrelated_node_is_noop(self, manager, micro_request):
+        manager.find(micro_request)
+        # node 2 hosts the unchosen twin (ACP picks v2 actually) — use a
+        # node not in the composition
+        session = manager.session(1)
+        used = set(session.allocation.node_demands)
+        unused = ({0, 1, 2} - used).pop()
+        assert manager.terminate_sessions_using_node(unused) == 0
+        assert manager.active_session_count == 1

@@ -1,0 +1,105 @@
+"""Unit tests for local state views and the aggregation role."""
+
+import pytest
+
+from repro.state.aggregation import AggregationManager, RotationPolicy
+from repro.state.global_state import GlobalStateManager
+from repro.state.local_state import LocalStateError, LocalStateProvider
+from tests.conftest import rv
+
+
+class TestLocalState:
+    @pytest.fixture
+    def provider(self, micro_network):
+        return LocalStateProvider(micro_network)
+
+    def test_scope_is_self_plus_neighbors(self, provider):
+        view = provider.view(0)
+        assert view.scope == frozenset({0, 1, 2})
+
+    def test_node_available_within_scope(self, micro_network, provider):
+        view = provider.view(0)
+        assert view.node_available(1) == micro_network.node(1).available
+
+    def test_out_of_scope_rejected(self, micro_network, provider):
+        # build a line topology where node 0 cannot see node 2
+        from repro.model.node import Node
+        from repro.topology.overlay import OverlayLink, OverlayNetwork
+
+        nodes = [Node(i, i, rv(10, 10)) for i in range(3)]
+        links = [
+            OverlayLink(0, 0, 1, 1.0, 0.0, 100.0),
+            OverlayLink(1, 1, 2, 1.0, 0.0, 100.0),
+        ]
+        line = OverlayNetwork(nodes, links)
+        view = LocalStateProvider(line).view(0)
+        with pytest.raises(LocalStateError, match="outside the local state"):
+            view.node_available(2)
+
+    def test_component_qos_lookup(self, micro_network, provider):
+        view = provider.view(0)
+        component = micro_network.node(1).components[0]
+        assert view.component_qos(1, component.component_id) == component.qos
+
+    def test_unknown_component_rejected(self, provider):
+        view = provider.view(0)
+        with pytest.raises(LocalStateError, match="not hosted"):
+            view.component_qos(1, 999)
+
+    def test_adjacent_link_bandwidth(self, micro_network, provider):
+        view = provider.view(0)
+        link = micro_network.adjacent_links(0)[0]
+        assert view.link_available_kbps(link.link_id) == link.available_kbps
+
+    def test_non_adjacent_link_rejected(self, micro_network, provider):
+        view = provider.view(0)
+        # link 1 connects v1-v2, not adjacent to v0
+        with pytest.raises(LocalStateError, match="not adjacent"):
+            view.link_available_kbps(1)
+
+    def test_views_cached(self, provider):
+        assert provider.view(0) is provider.view(0)
+
+
+class TestAggregation:
+    @pytest.fixture
+    def global_state(self, micro_network):
+        return GlobalStateManager(micro_network)
+
+    def test_round_robin_rotation(self, micro_network, global_state):
+        manager = AggregationManager(
+            micro_network, global_state, policy=RotationPolicy.ROUND_ROBIN
+        )
+        assert manager.aggregation_node_id == 0
+        manager.run_round()
+        assert manager.aggregation_node_id == 1
+        manager.run_round()
+        manager.run_round()
+        assert manager.aggregation_node_id == 0  # wrapped
+
+    def test_least_loaded_rotation(self, micro_network, global_state):
+        micro_network.node(0).allocate(rv(50, 100))
+        micro_network.node(1).allocate(rv(5, 5))
+        manager = AggregationManager(
+            micro_network, global_state, policy=RotationPolicy.LEAST_LOADED
+        )
+        # node 2 is untouched and therefore least loaded
+        assert manager.aggregation_node_id == 2
+
+    def test_broadcast_message_accounting(self, micro_network, global_state):
+        manager = AggregationManager(micro_network, global_state)
+        cost = manager.run_round()
+        assert cost == len(micro_network) - 1
+        assert manager.broadcast_messages == cost
+        manager.run_round()
+        assert manager.broadcast_messages == 2 * cost
+
+    def test_history_records_roles(self, micro_network, global_state):
+        manager = AggregationManager(micro_network, global_state)
+        manager.run_round()
+        manager.run_round()
+        assert manager.history == [0, 1, 2]
+
+    def test_invalid_period_rejected(self, micro_network, global_state):
+        with pytest.raises(ValueError, match="period"):
+            AggregationManager(micro_network, global_state, period_s=0.0)

@@ -1,0 +1,277 @@
+"""Unit tests for workload generation."""
+
+import math
+
+import pytest
+
+from repro.model.functions import FunctionCatalog
+from repro.model.templates import TemplateLibrary
+from repro.simulation.workload import (
+    QOS_LEVELS,
+    QoSLevel,
+    RateSchedule,
+    WorkloadGenerator,
+    WorkloadProfile,
+)
+
+
+@pytest.fixture(scope="module")
+def templates():
+    return TemplateLibrary(FunctionCatalog(size=20), size=6, seed=2)
+
+
+def generator(templates, rate=60.0, level="normal", seed=0):
+    return WorkloadGenerator(
+        templates,
+        RateSchedule.constant(rate),
+        qos_level=QOS_LEVELS[level],
+        seed=seed,
+    )
+
+
+class TestRateSchedule:
+    def test_constant(self):
+        schedule = RateSchedule.constant(40.0)
+        assert schedule.rate_at(0.0) == 40.0
+        assert schedule.rate_at(1e6) == 40.0
+
+    def test_steps(self):
+        schedule = RateSchedule.steps((0.0, 40.0), (100.0, 80.0), (200.0, 60.0))
+        assert schedule.rate_at(0.0) == 40.0
+        assert schedule.rate_at(99.9) == 40.0
+        assert schedule.rate_at(100.0) == 80.0
+        assert schedule.rate_at(250.0) == 60.0
+
+    def test_must_start_at_zero(self):
+        with pytest.raises(ValueError, match="start at time 0"):
+            RateSchedule.steps((10.0, 40.0))
+
+    def test_rates_positive(self):
+        with pytest.raises(ValueError, match="positive"):
+            RateSchedule.steps((0.0, 0.0))
+
+    def test_sorted_segments(self):
+        with pytest.raises(ValueError, match="non-decreasing"):
+            RateSchedule.steps((0.0, 10.0), (50.0, 20.0), (25.0, 30.0))
+
+
+class TestArrivals:
+    def test_mean_interarrival_matches_rate(self, templates):
+        gen = generator(templates, rate=60.0, seed=1)
+        samples = [gen.next_interarrival(0.0) for _ in range(4000)]
+        # 60 req/min = 1 req/s
+        assert sum(samples) / len(samples) == pytest.approx(1.0, rel=0.1)
+
+    def test_requests_until_horizon(self, templates):
+        gen = generator(templates, rate=60.0, seed=2)
+        requests = list(gen.requests_until(300.0))
+        # ~300 expected; allow wide tolerance
+        assert 200 < len(requests) < 420
+        assert all(r.arrival_time <= 300.0 for r in requests)
+        ids = [r.request_id for r in requests]
+        assert ids == sorted(ids)
+        assert len(set(ids)) == len(ids)
+
+
+class TestRequestAttributes:
+    def test_requirements_within_profile(self, templates):
+        gen = generator(templates, seed=3)
+        profile = gen.profile
+        for _ in range(100):
+            request = gen.make_request(0.0)
+            for index in range(len(request.function_graph)):
+                requirement = request.requirement_for(index)
+                assert (
+                    profile.cpu_requirement[0]
+                    <= requirement["cpu"]
+                    <= profile.cpu_requirement[1]
+                )
+                assert (
+                    profile.memory_requirement[0]
+                    <= requirement["memory"]
+                    <= profile.memory_requirement[1]
+                )
+            assert (
+                profile.session_duration_s[0]
+                <= request.duration
+                <= profile.session_duration_s[1]
+            )
+            assert (
+                profile.stream_rate[0]
+                <= request.stream_rate
+                <= profile.stream_rate[1]
+            )
+
+    def test_session_duration_is_5_to_15_minutes(self, templates):
+        gen = generator(templates, seed=4)
+        durations = [gen.make_request(0.0).duration for _ in range(200)]
+        assert min(durations) >= 300.0
+        assert max(durations) <= 900.0
+
+    def test_tighter_level_means_tighter_budgets(self, templates):
+        graph = templates[0].graph
+        budgets = {}
+        for level in ("loose", "normal", "high", "very_high"):
+            gen = WorkloadGenerator(
+                templates,
+                RateSchedule.constant(60.0),
+                qos_level=QOS_LEVELS[level],
+                profile=WorkloadProfile(qos_jitter=(1.0, 1.0)),
+                seed=5,
+            )
+            budgets[level] = gen.qos_requirement_for(graph)
+        assert (
+            budgets["very_high"]["delay"]
+            < budgets["high"]["delay"]
+            < budgets["normal"]["delay"]
+            < budgets["loose"]["delay"]
+        )
+        assert (
+            budgets["very_high"]["loss_rate"]
+            < budgets["high"]["loss_rate"]
+            < budgets["normal"]["loss_rate"]
+        )
+
+    def test_budget_scales_with_path_length(self, templates):
+        gen = WorkloadGenerator(
+            templates,
+            RateSchedule.constant(60.0),
+            profile=WorkloadProfile(qos_jitter=(1.0, 1.0)),
+            seed=6,
+        )
+        graphs = sorted(
+            (t.graph for t in templates.templates),
+            key=lambda g: max(len(p) for p in g.all_paths()),
+        )
+        short, long = graphs[0], graphs[-1]
+        if max(len(p) for p in short.all_paths()) < max(
+            len(p) for p in long.all_paths()
+        ):
+            assert (
+                gen.qos_requirement_for(short)["delay"]
+                < gen.qos_requirement_for(long)["delay"]
+            )
+
+    def test_loss_budget_additive_in_log_space(self, templates):
+        """The loss budget corresponds to the slack-scaled sum of expected
+        per-stage -log(1-p) costs."""
+        gen = WorkloadGenerator(
+            templates,
+            RateSchedule.constant(60.0),
+            qos_level=QoSLevel("unit", delay_slack=1.0, loss_slack=1.0),
+            profile=WorkloadProfile(qos_jitter=(1.0, 1.0)),
+            seed=7,
+        )
+        graph = templates[0].graph
+        stages = max(len(p) for p in graph.all_paths())
+        requirement = gen.qos_requirement_for(graph)
+        expected_log = stages * -math.log1p(
+            -gen.profile.expected_component_loss
+        ) + (stages - 1) * -math.log1p(-gen.profile.expected_link_loss)
+        assert -math.log1p(-requirement["loss_rate"]) == pytest.approx(expected_log)
+
+    def test_bandwidth_requirements_follow_stream_rate(self, templates):
+        gen = generator(templates, seed=8)
+        request = gen.make_request(0.0)
+        edge_rates = request.function_graph.edge_rates(request.stream_rate)
+        for edge, rate in edge_rates.items():
+            assert request.bandwidth_for(edge) == pytest.approx(
+                rate * gen.profile.kbps_per_unit
+            )
+
+    def test_invalid_qos_level(self):
+        with pytest.raises(ValueError, match="positive"):
+            QoSLevel("bad", delay_slack=0.0, loss_slack=1.0)
+
+
+class TestTraceReplay:
+    def test_recording_captures_requests(self, templates):
+        from repro.simulation.workload import RecordingWorkload
+
+        recorder = RecordingWorkload(generator(templates, seed=10))
+        now = 0.0
+        for _ in range(5):
+            now += recorder.next_interarrival(now)
+            recorder.make_request(now)
+        assert len(recorder.trace) == 5
+        cutoff = recorder.trace[2].arrival_time
+        assert recorder.trace_since(cutoff) == recorder.trace[2:]
+
+    def test_replay_preserves_requests_and_gaps(self, templates):
+        from repro.simulation.workload import RecordingWorkload, ReplayWorkload
+
+        recorder = RecordingWorkload(generator(templates, seed=11))
+        now = 0.0
+        for _ in range(4):
+            now += recorder.next_interarrival(now)
+            recorder.make_request(now)
+        replay = ReplayWorkload(recorder.trace)
+        assert len(replay) == 4
+        replay_now = 0.0
+        for original in recorder.trace:
+            replay_now += replay.next_interarrival(replay_now)
+            replayed = replay.make_request(replay_now)
+            assert replayed.request_id == original.request_id
+            assert replayed.stream_rate == original.stream_rate
+            assert replayed.qos_requirement == original.qos_requirement
+            assert replay_now == pytest.approx(original.arrival_time)
+
+    def test_replay_exhaustion(self, templates):
+        from repro.simulation.workload import RecordingWorkload, ReplayWorkload
+
+        recorder = RecordingWorkload(generator(templates, seed=12))
+        recorder.make_request(recorder.next_interarrival(0.0))
+        replay = ReplayWorkload(recorder.trace)
+        replay.make_request(replay.next_interarrival(0.0))
+        assert replay.next_interarrival(100.0) > 1e11  # beyond any horizon
+        with pytest.raises(IndexError, match="exhausted"):
+            replay.make_request(200.0)
+
+    def test_empty_trace_rejected(self):
+        from repro.simulation.workload import ReplayWorkload
+
+        with pytest.raises(ValueError, match="empty"):
+            ReplayWorkload([])
+
+    def test_replay_drives_simulator(self):
+        """A recorded trace replayed through a fresh copy of the same
+        system produces the exact same request sequence (the profiling
+        use case)."""
+        import random as _random
+
+        from repro.core import ACPComposer
+        from repro.simulation.simulator import StreamProcessingSimulator
+        from repro.simulation.workload import RecordingWorkload, ReplayWorkload
+        from tests.conftest import build_small_system
+
+        def build(make_workload):
+            system = build_small_system(seed=13)
+            workload = make_workload(system)
+            composer = ACPComposer(
+                system.composition_context(rng=_random.Random(2)),
+                probing_ratio=0.5,
+            )
+            return StreamProcessingSimulator(
+                system, composer, workload, sampling_period_s=300.0
+            )
+
+        recorder = {}
+
+        def live_workload(system):
+            recorder["w"] = RecordingWorkload(
+                WorkloadGenerator(
+                    system.templates, RateSchedule.constant(30.0), seed=14
+                )
+            )
+            return recorder["w"]
+
+        live = build(live_workload)
+        live_report = live.run(600.0)
+        assert live_report.total_requests == len(recorder["w"].trace)
+
+        replay = build(lambda system: ReplayWorkload(recorder["w"].trace))
+        replay_report = replay.run(600.0)
+        assert replay_report.total_requests == live_report.total_requests
+        live_ids = [r.request_id for r in live.metrics.records]
+        replay_ids = [r.request_id for r in replay.metrics.records]
+        assert live_ids == replay_ids
