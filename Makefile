@@ -1,0 +1,22 @@
+# Convenience entry points; everything runs with src/ on PYTHONPATH so no
+# install step is needed.
+
+PYTEST := PYTHONPATH=src python -m pytest
+
+.PHONY: test bench bench-micro
+
+test:
+	$(PYTEST) -x -q tests
+
+# Statistical micro-benchmarks of the per-request hot operations.  Medians
+# land in benchmarks/results/BENCH_micro.json (operation -> seconds); the
+# vectorised-scoring speedup is test_acp_compose_latency_scalar divided by
+# test_acp_compose_latency.
+bench-micro:
+	$(PYTEST) -q benchmarks/test_micro_operations.py
+	@echo "medians: benchmarks/results/BENCH_micro.json"
+
+# Full benchmark suite: every figure harness at FAST_SCALE plus the micro
+# operations.  Figure rows land in benchmarks/results/*.txt.
+bench:
+	$(PYTEST) -q benchmarks

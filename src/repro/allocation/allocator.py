@@ -64,10 +64,17 @@ class _TransientLedger:
 
     def amount_on_node(self, node_id: int, schema) -> ResourceVector:
         """Total transiently-held resources on one node."""
-        total = ResourceVector.zero(schema)
+        total = self.amount_on_node_or_none(node_id)
+        return ResourceVector.zero(schema) if total is None else total
+
+    def amount_on_node_or_none(self, node_id: int) -> Optional[ResourceVector]:
+        """Like :meth:`amount_on_node`, but ``None`` when nothing is held —
+        lets the probing hot path skip a zero-vector construction and an
+        add per query (most queried nodes hold nothing)."""
+        total: Optional[ResourceVector] = None
         for held_node, amount in self.holdings.values():
             if held_node == node_id:
-                total = total + amount
+                total = amount if total is None else total + amount
         return total
 
 
@@ -134,7 +141,9 @@ class ResourceAllocator:
         available = node.available
         ledger = self._ledgers.get(request_id)
         if ledger is not None:
-            available = available + ledger.amount_on_node(node_id, available.schema)
+            held = ledger.amount_on_node_or_none(node_id)
+            if held is not None:
+                available = available + held
         return available
 
     def cancel_transient(self, request_id: int) -> None:

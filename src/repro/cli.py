@@ -32,7 +32,7 @@ from repro.experiments import (
     run_fig6,
     run_fig7,
     run_fig8,
-    run_spec,
+    run_specs,
 )
 
 SCALES = {"paper": PAPER_SCALE, "fast": FAST_SCALE}
@@ -61,6 +61,11 @@ def build_parser() -> argparse.ArgumentParser:
     common.add_argument(
         "-o", "--output", default=None,
         help="also write the rendered tables to this file",
+    )
+    common.add_argument(
+        "--workers", type=int, default=None, metavar="N",
+        help="run the figure's independent simulation points on N worker "
+        "processes (results are identical to a serial run; default: serial)",
     )
 
     parser = argparse.ArgumentParser(
@@ -121,7 +126,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     if args.command == "fig5a":
         result = run_fig5a(
             scale=scale, request_rates=args.rates, probing_ratios=args.ratios,
-            num_nodes=args.nodes, seed=args.seed,
+            num_nodes=args.nodes, seed=args.seed, workers=args.workers,
         )
         _emit(format_figure_table(result), args.output)
     elif args.command == "fig5b":
@@ -132,6 +137,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             probing_ratios=args.ratios,
             num_nodes=args.nodes,
             seed=args.seed,
+            workers=args.workers,
         )
         _emit(format_figure_table(result), args.output)
     elif args.command == "fig6":
@@ -141,6 +147,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             algorithms=args.algorithms.split(","),
             num_nodes=args.nodes,
             seed=args.seed,
+            workers=args.workers,
         )
         _emit(format_figure_table(success), args.output)
         _emit("", args.output)
@@ -152,6 +159,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             algorithms=args.algorithms.split(","),
             request_rate=args.rate,
             seed=args.seed,
+            workers=args.workers,
         )
         _emit(format_figure_table(success), args.output)
         _emit("", args.output)
@@ -159,7 +167,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     elif args.command == "fig8":
         fixed, adaptive = run_fig8(
             scale=scale, target_success_rate=args.target,
-            num_nodes=args.nodes, seed=args.seed,
+            num_nodes=args.nodes, seed=args.seed, workers=args.workers,
         )
         _emit(format_fig8_table(fixed), args.output)
         _emit("", args.output)
@@ -169,10 +177,10 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             scale=scale, num_nodes=args.nodes, rate_per_min=args.rate,
             seed=args.seed,
         )
-        reports = [
-            run_spec(base.with_algorithm(name))
-            for name in args.algorithms.split(",")
-        ]
+        reports = run_specs(
+            [base.with_algorithm(name) for name in args.algorithms.split(",")],
+            workers=args.workers,
+        )
         _emit(format_report_summary(reports), args.output)
     return 0
 

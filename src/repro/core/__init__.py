@@ -19,6 +19,7 @@ from repro.core.composer import (
     CompositionEvaluator,
     CompositionOutcome,
 )
+from repro.core.fastscore import FastScorer, LevelPool
 from repro.core.optimal import OptimalComposer
 from repro.core.probe import Probe, ProbeFactory
 from repro.core.prober import (
@@ -46,6 +47,8 @@ __all__ = [
     "CompositionContext",
     "CompositionEvaluator",
     "CompositionOutcome",
+    "FastScorer",
+    "LevelPool",
     "OptimalComposer",
     "ProbingComposer",
     "HopSelectionPolicy",

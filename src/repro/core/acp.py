@@ -40,6 +40,7 @@ class ACPComposer(ProbingComposer):
         context: CompositionContext,
         probing_ratio: float = 0.3,
         tuner: Optional[ProbingRatioTuner] = None,
+        vectorized: bool = True,
     ):
         super().__init__(
             context,
@@ -48,6 +49,7 @@ class ACPComposer(ProbingComposer):
             final_policy=FinalSelectionPolicy.PHI,
             use_global_state=True,
             ratio_provider=None,
+            vectorized=vectorized,
         )
         self.tuner = tuner
         if tuner is not None:

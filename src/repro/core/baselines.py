@@ -38,13 +38,19 @@ class SelectiveProbingComposer(ProbingComposer):
 
     name = "SP"
 
-    def __init__(self, context: CompositionContext, probing_ratio: float = 0.3):
+    def __init__(
+        self,
+        context: CompositionContext,
+        probing_ratio: float = 0.3,
+        vectorized: bool = True,
+    ):
         super().__init__(
             context,
             probing_ratio=probing_ratio,
             hop_policy=HopSelectionPolicy.GUIDED,
             final_policy=FinalSelectionPolicy.RANDOM,
             use_global_state=True,
+            vectorized=vectorized,
         )
 
 
@@ -53,13 +59,19 @@ class RandomProbingComposer(ProbingComposer):
 
     name = "RP"
 
-    def __init__(self, context: CompositionContext, probing_ratio: float = 0.3):
+    def __init__(
+        self,
+        context: CompositionContext,
+        probing_ratio: float = 0.3,
+        vectorized: bool = True,
+    ):
         super().__init__(
             context,
             probing_ratio=probing_ratio,
             hop_policy=HopSelectionPolicy.RANDOM,
             final_policy=FinalSelectionPolicy.PHI,
             use_global_state=False,
+            vectorized=vectorized,
         )
 
 

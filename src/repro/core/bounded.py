@@ -30,7 +30,12 @@ class BoundedProbingComposer(ProbingComposer):
 
     name = "BCP"
 
-    def __init__(self, context: CompositionContext, probe_budget_total: int = 12):
+    def __init__(
+        self,
+        context: CompositionContext,
+        probe_budget_total: int = 12,
+        vectorized: bool = True,
+    ):
         if probe_budget_total < 1:
             raise ValueError(
                 f"probe_budget_total must be >= 1, got {probe_budget_total}"
@@ -41,6 +46,7 @@ class BoundedProbingComposer(ProbingComposer):
             hop_policy=HopSelectionPolicy.GUIDED,
             final_policy=FinalSelectionPolicy.PHI,
             use_global_state=True,
+            vectorized=vectorized,
         )
         self.probe_budget_total = probe_budget_total
 

@@ -60,6 +60,21 @@ class CompositionContext:
     clock: Callable[[], float] = lambda: 0.0
     #: how component QoS responds to host load (factors 0 = static QoS)
     qos_model: LoadDependentQoSModel = field(default_factory=LoadDependentQoSModel)
+    #: lazily constructed vectorised scoring engine (see fast_scorer())
+    _fast_scorer: object = field(default=None, init=False, repr=False, compare=False)
+
+    def fast_scorer(self):
+        """The shared :class:`~repro.core.fastscore.FastScorer` for this
+        context, created on first use.  Its caches are keyed on the
+        registry/global-state/router epochs, so sharing one instance across
+        all composers and requests is what makes it fast."""
+        if self._fast_scorer is None:
+            # imported here: fastscore imports model types that sit below
+            # this module, but the package re-exports composer first
+            from repro.core.fastscore import FastScorer
+
+            self._fast_scorer = FastScorer(self)
+        return self._fast_scorer
 
     def precise_component_qos(self, component: Component) -> QoSVector:
         """Effective QoS from the *live* host state (what a probe observes
@@ -162,31 +177,55 @@ class CompositionEvaluator:
         )
 
     def effective_component_qos(
-        self, composition: ComponentGraph
+        self,
+        composition: ComponentGraph,
+        _qos_memo: Optional[Dict[int, QoSVector]] = None,
     ) -> Dict[int, QoSVector]:
-        """Per-placement effective QoS under live load (the precise view)."""
+        """Per-placement effective QoS under live load (the precise view).
+
+        ``_qos_memo`` (component_id → QoS) lets :meth:`qualify_and_rank`
+        share lookups across candidate compositions that place the same
+        component; no state changes between them, so the values are
+        identical either way.
+        """
         graph = composition.request.function_graph
-        return {
-            index: self.context.precise_component_qos(composition.component(index))
-            for index in range(len(graph))
-        }
+        if _qos_memo is None:
+            return {
+                index: self.context.precise_component_qos(composition.component(index))
+                for index in range(len(graph))
+            }
+        out: Dict[int, QoSVector] = {}
+        for index in range(len(graph)):
+            component = composition.component(index)
+            qos = _qos_memo.get(component.component_id)
+            if qos is None:
+                qos = self.context.precise_component_qos(component)
+                _qos_memo[component.component_id] = qos
+            out[index] = qos
+        return out
 
     def worst_effective_qos(self, composition: ComponentGraph) -> QoSVector:
         """Critical-path QoS under the load-dependent model (live state)."""
         return composition.worst_path_qos(self.effective_component_qos(composition))
 
     def feasible(
-        self, composition: ComponentGraph
+        self,
+        composition: ComponentGraph,
+        _qos_memo: Optional[Dict[int, QoSVector]] = None,
+        _avail_memo: Optional[Dict[int, object]] = None,
     ) -> Tuple[bool, Optional[str]]:
         """Eqs. 3–5 against precise state, with aggregate semantics.
 
         QoS is evaluated under the load-dependent model at live host state;
         per-node demand sums over all of the request's components placed on
         the node; per-overlay-link demand sums over all of its virtual
-        links crossing the link.
+        links crossing the link.  The memo parameters are pure read caches
+        scoped to one :meth:`qualify_and_rank` call (see there).
         """
         request = composition.request
-        if not composition.qos_satisfied(self.effective_component_qos(composition)):
+        if not composition.qos_satisfied(
+            self.effective_component_qos(composition, _qos_memo)
+        ):
             return False, "qos_violation"
 
         node_demands: Dict[int, object] = {}
@@ -200,7 +239,9 @@ class CompositionEvaluator:
             else:
                 node_demands[component.node_id] = requirement
         for node_id, demand in node_demands.items():
-            if not self.node_available(request, node_id).covers(demand):
+            if not self._node_available_memo(request, node_id, _avail_memo).covers(
+                demand
+            ):
                 return False, "node_resources"
 
         link_demands: Dict[int, float] = {}
@@ -216,7 +257,25 @@ class CompositionEvaluator:
 
     # -- ranking (Eq. 1) -----------------------------------------------------------
 
-    def phi(self, composition: ComponentGraph) -> float:
+    def _node_available_memo(
+        self,
+        request: StreamRequest,
+        node_id: int,
+        memo: Optional[Dict[int, object]],
+    ):
+        if memo is None:
+            return self.node_available(request, node_id)
+        available = memo.get(node_id)
+        if available is None:
+            available = self.node_available(request, node_id)
+            memo[node_id] = available
+        return available
+
+    def phi(
+        self,
+        composition: ComponentGraph,
+        _avail_memo: Optional[Dict[int, object]] = None,
+    ) -> float:
         """φ(λ) under precise state (live link bandwidth, pre-request
         node availability)."""
         request = composition.request
@@ -228,7 +287,7 @@ class CompositionEvaluator:
             )
 
         return composition.congestion_aggregation(
-            lambda node_id: self.node_available(request, node_id),
+            lambda node_id: self._node_available_memo(request, node_id, _avail_memo),
             link_available,
         )
 
@@ -240,12 +299,19 @@ class CompositionEvaluator:
         Returns ``(best, best_phi, qualified_list)``; the list holds
         ``(phi, composition)`` pairs for callers that select differently
         (the SP baseline picks at random among the qualified).
+
+        All candidate compositions belong to one request, and nothing
+        mutates node or link state during qualification, so per-component
+        effective QoS and per-node availability are memoised across the
+        whole batch — the values are identical to recomputing them.
         """
         qualified = []
+        qos_memo: Dict[int, QoSVector] = {}
+        avail_memo: Dict[int, object] = {}
         for composition in compositions:
-            ok, _reason = self.feasible(composition)
+            ok, _reason = self.feasible(composition, qos_memo, avail_memo)
             if ok:
-                qualified.append((self.phi(composition), composition))
+                qualified.append((self.phi(composition, avail_memo), composition))
         if not qualified:
             return None, None, []
         best_phi, best = min(qualified, key=lambda pair: pair[0])

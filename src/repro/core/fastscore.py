@@ -1,0 +1,651 @@
+"""Vectorised candidate scoring for the probing hot path.
+
+Every simulated request runs the probing wavefront of
+:class:`~repro.core.prober.ProbingComposer`, and within it the dominant
+cost is scoring ``beam × candidates`` expansions per function level:
+compatibility filtering, Eq. 6–8 qualification against the coarse-grain
+global state, and the Eq. 9/10 risk/congestion ranking.  The scalar
+reference path does all of that through per-pair ``QoSVector`` /
+``ResourceVector`` allocations and per-pair router queries.
+
+:class:`FastScorer` replaces the inner loops with NumPy array operations
+over the whole candidate pool of a function, fed by caches that persist
+*across* requests and invalidate on the substrate's epochs:
+
+* **candidate tables** (per function) — candidate QoS, ``max_input_rate``,
+  node ids, format/attribute bitmasks, node capacity matrix; keyed on
+  :attr:`ComponentRegistry.version` (bumped by deploy/migration);
+* **stale effective QoS** (per table) — the load-dependent component QoS
+  evaluated at the global state's stale node availability, plus the stale
+  node-available resource matrix; keyed on
+  :attr:`GlobalStateManager.node_version`;
+* **virtual-link QoS rows** (per source node) — delay/loss to every
+  destination, computed once per :attr:`OverlayRouter.epoch` (i.e. per
+  topology ``_solve``) by :meth:`OverlayRouter.virtual_link_rows`;
+* **stale virtual-link bottleneck bandwidth** (per node pair) — entries
+  individually re-validated against ``(link_version, epoch)`` so a global
+  state update lazily invalidates only the pairs actually re-read.
+
+This supersedes the per-compose ``_stale_qos_memo`` / ``_stale_bw_memo``
+rebuild the prober used to carry on the instance: nothing here is
+per-request state, so nothing outlives (or leaks from) one ``compose()``.
+
+Every array expression mirrors the scalar reference's operation order
+(raw-space QoS accumulation, additive-space risk ratios, term-ordered
+congestion sums), so both paths make identical composition decisions —
+``tests/test_fastscore.py`` asserts this property end to end.  The one
+knowingly tolerated divergence is ``np.log1p`` vs ``math.log1p`` in the
+risk transform, which can differ in the last ulp on exotic libms; it can
+only matter when a risk ratio lands exactly on a tie-bucket boundary.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.selection import (
+    RISK_TIE_EPSILON,
+    RankingPolicy,
+    ScoredCandidate,
+)
+from repro.model.component import Component
+from repro.model.qos import MetricKind, QoSVector
+from repro.model.qos_model import LoadDependentQoSModel
+from repro.model.request import StreamRequest
+from repro.topology.routing import RoutingError
+
+#: Loss values are clamped just below 1 before the additive transform,
+#: matching ``QoSVector.additive_values``.
+_MAX_LOSS = 1.0 - 1e-12
+
+#: Schema layout the vectorised path is specialised to (the default
+#: delay/loss metric pair); anything else falls back to the scalar
+#: reference implementation.
+_SUPPORTED_KINDS = (MetricKind.ADDITIVE, MetricKind.MULTIPLICATIVE_LOSS)
+
+
+class _CandidateTable:
+    """Array view of one function's candidate pool (registry-version keyed)."""
+
+    __slots__ = (
+        "components",
+        "component_ids",
+        "node_ids",
+        "max_input_rate",
+        "base_delay",
+        "base_loss",
+        "input_format_bits",
+        "format_bit",
+        "attribute_bits",
+        "attribute_bit",
+        "capacity",
+        "registry_version",
+        "stale_version",
+        "stale_available",
+        "stale_delay",
+        "stale_loss",
+    )
+
+    def __init__(self, components: Sequence[Component], registry_version: int):
+        self.components: Tuple[Component, ...] = tuple(components)
+        self.registry_version = registry_version
+        k = len(self.components)
+        self.component_ids = np.fromiter(
+            (c.component_id for c in self.components), dtype=np.int64, count=k
+        )
+        self.node_ids = np.fromiter(
+            (c.node_id for c in self.components), dtype=np.int64, count=k
+        )
+        self.max_input_rate = np.fromiter(
+            (c.max_input_rate for c in self.components), dtype=np.float64, count=k
+        )
+        self.base_delay = np.fromiter(
+            (c.qos.values[0] for c in self.components), dtype=np.float64, count=k
+        )
+        self.base_loss = np.fromiter(
+            (c.qos.values[1] for c in self.components), dtype=np.float64, count=k
+        )
+
+        # format vocabulary over this pool's input formats: a candidate
+        # accepts an upstream iff the upstream's output-format bit is set
+        self.format_bit: Dict[str, int] = {}
+        input_bits = []
+        for component in self.components:
+            bits = 0
+            for fmt in component.input_formats:
+                bit = self.format_bit.setdefault(fmt, len(self.format_bit))
+                bits |= 1 << bit
+            input_bits.append(bits)
+        self.input_format_bits = np.asarray(input_bits, dtype=np.int64)
+
+        # capability-tag vocabulary: a candidate satisfies a demand iff it
+        # advertises every demanded tag (tags unknown to the whole pool
+        # disqualify every candidate)
+        self.attribute_bit: Dict[str, int] = {}
+        attr_bits = []
+        for component in self.components:
+            bits = 0
+            for tag in component.attributes:
+                bit = self.attribute_bit.setdefault(tag, len(self.attribute_bit))
+                bits |= 1 << bit
+            attr_bits.append(bits)
+        self.attribute_bits = np.asarray(attr_bits, dtype=np.int64)
+
+        self.capacity: Optional[np.ndarray] = None  # filled by ensure_stale
+        self.stale_version = -1
+        self.stale_available: Optional[np.ndarray] = None
+        self.stale_delay: Optional[np.ndarray] = None
+        self.stale_loss: Optional[np.ndarray] = None
+
+    def required_attribute_mask(self, required) -> Optional[np.ndarray]:
+        """Boolean qualification mask for demanded tags (None = all pass)."""
+        if not required:
+            return None
+        bits = 0
+        for tag in required:
+            bit = self.attribute_bit.get(tag)
+            if bit is None:
+                return np.zeros(len(self.components), dtype=bool)
+            bits |= 1 << bit
+        return (self.attribute_bits & bits) == bits
+
+    def format_mask(self, output_format: str) -> Optional[np.ndarray]:
+        """Which candidates accept ``output_format`` (None = none do)."""
+        bit = self.format_bit.get(output_format)
+        if bit is None:
+            return None
+        return (self.input_format_bits & (1 << bit)) != 0
+
+    def ensure_stale(self, context) -> None:
+        """Refresh the coarse-grain availability matrix and the stale
+        effective QoS arrays when the global state has published updates."""
+        global_state = context.global_state
+        version = global_state.node_version
+        if version == self.stale_version:
+            return
+        network = context.network
+        if self.capacity is None:
+            self.capacity = np.asarray(
+                [network.node(int(n)).capacity.values for n in self.node_ids],
+                dtype=np.float64,
+            )
+        available = np.asarray(
+            [global_state.node_available(int(n)).values for n in self.node_ids],
+            dtype=np.float64,
+        )
+        # worst-dimension allocated fraction, clamped — the array form of
+        # LoadDependentQoSModel.utilization, one entry per candidate
+        with np.errstate(divide="ignore", invalid="ignore"):
+            fractions = np.where(
+                self.capacity > 0.0, 1.0 - available / self.capacity, 0.0
+            )
+        utilization = np.clip(fractions.max(axis=1, initial=0.0), 0.0, 1.0)
+        delay, loss = context.qos_model.effective_qos_arrays(
+            self.base_delay, self.base_loss, utilization
+        )
+        self.stale_available = available
+        self.stale_delay = delay
+        self.stale_loss = loss
+        self.stale_version = version
+
+
+class LevelPool:
+    """The qualified (probe, candidate) expansions of one function level.
+
+    Entries are parallel arrays in the scalar reference's pool order
+    (probe-major, candidate registration order within a probe);
+    :class:`~repro.core.selection.ScoredCandidate` objects are materialised
+    only for the entries a selection actually picks.
+    """
+
+    def __init__(
+        self,
+        scorer: "FastScorer",
+        table: _CandidateTable,
+        probes: Sequence[object],
+        predecessors: Tuple[int, ...],
+        probe_index: np.ndarray,
+        candidate_index: np.ndarray,
+        risk: np.ndarray,
+        congestion: np.ndarray,
+        accumulated_delay: np.ndarray,
+        accumulated_loss: np.ndarray,
+        pre_delay: Optional[np.ndarray],
+        pre_loss: Optional[np.ndarray],
+    ):
+        self._scorer = scorer
+        self._table = table
+        self._probes = probes
+        self._predecessors = predecessors
+        self._probe_index = probe_index
+        self._candidate_index = candidate_index
+        self._risk = risk
+        self._congestion = congestion
+        self._accumulated_delay = accumulated_delay
+        self._accumulated_loss = accumulated_loss
+        #: worst-path QoS up to (excluding) the candidate; None at sources
+        self._pre_delay = pre_delay
+        self._pre_loss = pre_loss
+
+    @property
+    def size(self) -> int:
+        return len(self._probe_index)
+
+    def select_best(
+        self,
+        limit: int,
+        ranking: RankingPolicy = RankingPolicy.RISK_THEN_CONGESTION,
+        risk_tie_epsilon: float = RISK_TIE_EPSILON,
+    ) -> List[ScoredCandidate]:
+        """Top-``limit`` entries under the exact
+        :func:`repro.core.selection.select_best` semantics: same sort keys,
+        same stable tie-breaking, same tie-bucket rounding."""
+        if limit <= 0:
+            return []
+        risk = self._risk.tolist()
+        congestion = self._congestion.tolist()
+        component_ids = self._table.component_ids[self._candidate_index].tolist()
+
+        if ranking is RankingPolicy.RISK_ONLY:
+            keys = list(zip(risk, component_ids))
+        elif ranking is RankingPolicy.CONGESTION_ONLY:
+            keys = list(zip(congestion, component_ids))
+        else:
+            if risk_tie_epsilon > 0:
+                buckets = [round(r / risk_tie_epsilon) for r in risk]
+            else:
+                buckets = risk
+            keys = list(zip(buckets, congestion, component_ids))
+        order = sorted(range(self.size), key=keys.__getitem__)[:limit]
+        return self.take(order)
+
+    def take(self, indices: Sequence[int]) -> List[ScoredCandidate]:
+        """Materialise ``ScoredCandidate`` entries for pool positions, in
+        the given order (the random hop policy samples positions)."""
+        schema = self._scorer.schema
+        entries = []
+        for index in indices:
+            probe = self._probes[int(self._probe_index[index])]
+            candidate = self._table.components[int(self._candidate_index[index])]
+            if self._pre_delay is None:
+                pre_qos = None
+            else:
+                pre_qos = QoSVector(
+                    schema,
+                    [float(self._pre_delay[index]), float(self._pre_loss[index])],
+                )
+            entries.append(
+                ScoredCandidate(
+                    candidate=candidate,
+                    risk=float(self._risk[index]),
+                    congestion=float(self._congestion[index]),
+                    accumulated_qos=QoSVector(
+                        schema,
+                        [
+                            float(self._accumulated_delay[index]),
+                            float(self._accumulated_loss[index]),
+                        ],
+                    ),
+                    parent=probe,
+                    pre_qos=pre_qos,
+                )
+            )
+        return entries
+
+
+class FastScorer:
+    """Cross-request vectorised scoring engine bound to one context."""
+
+    def __init__(self, context):
+        self.context = context
+        self.schema = None
+        self._tables: Dict[int, _CandidateTable] = {}
+        #: (a, b) -> (link_version, epoch, bottleneck kbps); entries are
+        #: re-validated lazily, so state updates don't mass-invalidate
+        self._pair_bandwidth: Dict[Tuple[int, int], Tuple[int, int, float]] = {}
+        #: (function_id, upstream_node) -> (registry_version, link_version,
+        #: epoch, row of stale bottleneck kbps per candidate, -inf where
+        #: unreachable).  Mask-independent: masked candidates are already
+        #: excluded from ``qualified``, so their row entries are never read.
+        self._bandwidth_rows: Dict[
+            Tuple[int, int], Tuple[int, int, int, np.ndarray]
+        ] = {}
+        self._alive: Optional[np.ndarray] = None
+        #: shared all-True mask reused whenever no node is down; never mutated
+        self._all_alive: Optional[np.ndarray] = None
+
+    def supports(self, request: StreamRequest) -> bool:
+        """Whether the vectorised path applies to this request.
+
+        Requires the default (delay, loss) metric shape and the stock QoS
+        model, whose ``effective_qos_arrays`` mirrors ``effective_qos``; a
+        subclassed model or exotic schema silently takes the scalar path.
+        """
+        schema = request.qos_requirement.schema
+        return (
+            schema.kinds == _SUPPORTED_KINDS
+            and type(self.context.qos_model) is LoadDependentQoSModel
+        )
+
+    def begin_request(self, request: StreamRequest) -> None:
+        """Per-compose refresh: node liveness can change without bumping any
+        epoch (``Node.fail()``), so take one snapshot per wavefront — which
+        is exact, since liveness only changes between requests.  The network
+        maintains the (usually empty) down-node set via liveness listeners,
+        so the all-alive case reuses one cached mask instead of polling
+        every node."""
+        network = self.context.network
+        down = network.down_node_ids
+        if not down:
+            cached = self._all_alive
+            if cached is None or cached.shape[0] != len(network):
+                cached = np.ones(len(network), dtype=bool)
+                self._all_alive = cached
+            self._alive = cached
+        else:
+            alive = np.ones(len(network), dtype=bool)
+            alive[list(down)] = False
+            self._alive = alive
+        if self.schema is None:
+            self.schema = request.qos_requirement.schema
+
+    # -- caches ---------------------------------------------------------------
+
+    def _table_for(
+        self, function_id: int, candidates: Sequence[Component]
+    ) -> _CandidateTable:
+        version = self.context.registry.version
+        table = self._tables.get(function_id)
+        if table is None or table.registry_version != version:
+            table = _CandidateTable(candidates, version)
+            self._tables[function_id] = table
+        return table
+
+    def _stale_bandwidth(self, node_a: int, node_b: int) -> float:
+        """Coarse-grain virtual-link bottleneck bandwidth, epoch-validated."""
+        if node_a == node_b:
+            return float("inf")
+        context = self.context
+        link_version = context.global_state.link_version
+        epoch = context.router.epoch
+        key = (node_a, node_b)
+        entry = self._pair_bandwidth.get(key)
+        if entry is not None and entry[0] == link_version and entry[1] == epoch:
+            return entry[2]
+        path = context.router.overlay_path(node_a, node_b)
+        bandwidth = context.global_state.virtual_link_available_kbps(path)
+        self._pair_bandwidth[key] = (link_version, epoch, bandwidth)
+        return bandwidth
+
+    # -- scoring ---------------------------------------------------------------
+
+    def score_level(
+        self,
+        request: StreamRequest,
+        probes: Sequence[object],
+        function_id: int,
+        candidates: Sequence[Component],
+        function_index: int,
+        predecessors: Tuple[int, ...],
+        requirement,
+        input_rate: float,
+        use_global_state: bool,
+    ) -> LevelPool:
+        """Score every (probe, candidate) expansion of one function level.
+
+        Implements exactly the scalar ``_score_candidate`` pipeline —
+        compatibility filters, Eq. 6–8 qualification, Eq. 9/10 scores —
+        as a single batch of ``(probes × candidates)`` array operations.
+        Every arithmetic step is elementwise, so batching probes together
+        changes no float operation or ordering, and row-major
+        ``np.nonzero`` at the end reproduces the scalar reference's pool
+        order (probe-major, candidate registration order within a probe).
+        """
+        context = self.context
+        table = self._table_for(function_id, candidates)
+        node_index = table.node_ids
+
+        # -- probe-independent filters (stream rate, tags, liveness) ----------
+        level_mask = input_rate <= table.max_input_rate
+        attribute_mask = table.required_attribute_mask(request.required_attributes)
+        if attribute_mask is not None:
+            level_mask = level_mask & attribute_mask
+        level_mask = level_mask & self._alive[node_index]
+
+        if use_global_state:
+            table.ensure_stale(context)
+            candidate_delay = table.stale_delay
+            candidate_loss = table.stale_loss
+            available = table.stale_available
+        else:
+            candidate_delay = table.base_delay
+            candidate_loss = table.base_loss
+            available = None
+
+        qos_requirement = request.qos_requirement
+        required_delay, required_loss = qos_requirement.values
+        bounds_additive = qos_requirement.additive_values()
+        requirement_values = requirement.values
+        bandwidth_requirements = [
+            request.bandwidth_for((predecessor, function_index))
+            for predecessor in predecessors
+        ]
+
+        probe_count = len(probes)
+        pool_size = len(table.components)
+
+        # a component instance runs at most one placement per session, so
+        # each probe's row starts from the level mask and drops its own
+        # already-assigned component ids
+        mask = np.repeat(level_mask[np.newaxis, :], probe_count, axis=0)
+        for position, probe in enumerate(probes):
+            row = mask[position]
+            for assigned in probe.assignment.values():
+                row &= table.component_ids != assigned.component_id
+
+        # -- QoS accumulation through the candidate (worst path) --------------
+        # Per predecessor, gather each probe's upstream link row and output
+        # QoS, then accumulate over the whole (probes × candidates) batch at
+        # once.  Dead-end probes (no candidate accepts the upstream format)
+        # get an all-False row and zero-filled link values: the zeros keep
+        # the batch arithmetic finite but are never read, since nothing in
+        # the row can qualify.
+        accumulated_delay = None
+        accumulated_loss = None
+        for predecessor in predecessors:
+            format_rows = np.empty((probe_count, pool_size), dtype=bool)
+            link_delay = np.empty((probe_count, pool_size))
+            link_loss = np.empty((probe_count, pool_size))
+            out_delay = np.empty((probe_count, 1))
+            out_loss = np.empty((probe_count, 1))
+            for position, probe in enumerate(probes):
+                upstream = probe.assignment[predecessor]
+                format_mask = table.format_mask(upstream.output_format)
+                if format_mask is None:
+                    format_rows[position] = False
+                    link_delay[position] = 0.0
+                    link_loss[position] = 0.0
+                    out_delay[position, 0] = 0.0
+                    out_loss[position, 0] = 0.0
+                    continue
+                format_rows[position] = format_mask
+                delay_row, loss_row = context.router.virtual_link_rows(
+                    upstream.node_id
+                )
+                link_delay[position] = delay_row[node_index]
+                link_loss[position] = loss_row[node_index]
+                out_delay[position, 0], out_loss[position, 0] = (
+                    probe.accumulated_out[predecessor].values
+                )
+            mask &= format_rows
+            mask &= np.isfinite(link_delay)
+            through_delay = out_delay + link_delay
+            through_loss = 1.0 - (1.0 - out_loss) * (1.0 - link_loss)
+            if accumulated_delay is None:
+                accumulated_delay = through_delay
+                accumulated_loss = through_loss
+            else:
+                accumulated_delay = np.maximum(accumulated_delay, through_delay)
+                accumulated_loss = np.maximum(accumulated_loss, through_loss)
+        if accumulated_delay is None:
+            pre_delay2d = pre_loss2d = None
+            accumulated_delay = np.broadcast_to(
+                candidate_delay, (probe_count, pool_size)
+            )
+            accumulated_loss = np.broadcast_to(
+                candidate_loss, (probe_count, pool_size)
+            )
+        else:
+            pre_delay2d = accumulated_delay
+            pre_loss2d = accumulated_loss
+            accumulated_delay = accumulated_delay + candidate_delay
+            accumulated_loss = 1.0 - (1.0 - accumulated_loss) * (
+                1.0 - candidate_loss
+            )
+
+        # -- qualification (Eqs. 6–8) and scores (Eqs. 9–10) ------------------
+        qualified = (
+            mask
+            & (accumulated_delay <= required_delay + 1e-12)
+            & (accumulated_loss <= required_loss + 1e-12)
+        )
+        risk2d = congestion2d = None
+        if use_global_state:
+            for dimension, required_amount in enumerate(requirement_values):
+                qualified &= available[:, dimension] >= required_amount - 1e-9
+            bandwidth_rows: List[Tuple[float, np.ndarray]] = []
+            for predecessor, bandwidth_required in zip(
+                predecessors, bandwidth_requirements
+            ):
+                rows = np.empty((probe_count, pool_size))
+                for position, probe in enumerate(probes):
+                    rows[position] = self._bandwidth_row(
+                        function_id, table, probe.assignment[predecessor].node_id
+                    )
+                bandwidth_rows.append((bandwidth_required, rows))
+                qualified &= rows >= bandwidth_required - 1e-9
+            if qualified.any():
+                risk2d = self._risk(
+                    accumulated_delay, accumulated_loss, bounds_additive
+                )
+                congestion2d = self._congestion(
+                    requirement_values, available, bandwidth_rows, qualified.shape
+                )
+
+        probe_index, candidate_index = np.nonzero(qualified)
+        count = len(probe_index)
+        if risk2d is not None:
+            risk = risk2d[probe_index, candidate_index]
+            congestion = congestion2d[probe_index, candidate_index]
+        else:
+            risk = np.zeros(count)
+            congestion = risk
+        accumulated_delay = accumulated_delay[probe_index, candidate_index]
+        accumulated_loss = accumulated_loss[probe_index, candidate_index]
+        if pre_delay2d is not None and count:
+            pre_delay = pre_delay2d[probe_index, candidate_index]
+            pre_loss = pre_loss2d[probe_index, candidate_index]
+        else:
+            pre_delay = pre_loss = None
+
+        return LevelPool(
+            self,
+            table,
+            probes,
+            predecessors,
+            probe_index,
+            candidate_index,
+            risk,
+            congestion,
+            accumulated_delay,
+            accumulated_loss,
+            pre_delay,
+            pre_loss,
+        )
+
+    def _bandwidth_row(
+        self, function_id: int, table: _CandidateTable, upstream_node: int
+    ) -> np.ndarray:
+        """Stale bottleneck bandwidth from ``upstream_node`` to each of a
+        function's candidate nodes, cached across requests.
+
+        The row is mask-independent (``-inf`` for unreachable nodes — which
+        the wavefront masks out anyway), so one row serves every probe that
+        reaches this function from the same upstream node until a link
+        state update or a topology re-solve invalidates it.
+        """
+        context = self.context
+        link_version = context.global_state.link_version
+        epoch = context.router.epoch
+        key = (function_id, upstream_node)
+        entry = self._bandwidth_rows.get(key)
+        if (
+            entry is not None
+            and entry[0] == table.registry_version
+            and entry[1] == link_version
+            and entry[2] == epoch
+        ):
+            return entry[3]
+        row = np.empty(len(table.node_ids))
+        for position, node_id in enumerate(table.node_ids.tolist()):
+            try:
+                row[position] = self._stale_bandwidth(upstream_node, node_id)
+            except RoutingError:
+                row[position] = -math.inf
+        self._bandwidth_rows[key] = (table.registry_version, link_version, epoch, row)
+        return row
+
+    @staticmethod
+    def _risk(
+        accumulated_delay: np.ndarray,
+        accumulated_loss: np.ndarray,
+        bounds_additive: Tuple[float, ...],
+    ) -> np.ndarray:
+        """Eq. 9 over the pool: max additive-space utilisation ratio."""
+        additive_loss = -np.log1p(-np.minimum(accumulated_loss, _MAX_LOSS))
+        ratios = []
+        for accumulated, bound in (
+            (accumulated_delay, bounds_additive[0]),
+            (additive_loss, bounds_additive[1]),
+        ):
+            if bound <= 0.0:
+                ratios.append(np.where(accumulated <= 0.0, 0.0, math.inf))
+            else:
+                ratios.append(accumulated / bound)
+        return np.maximum(ratios[0], ratios[1])
+
+    @staticmethod
+    def _congestion(
+        requirement_values: Tuple[float, ...],
+        available: np.ndarray,
+        bandwidth_rows: List[Tuple[float, np.ndarray]],
+        shape: Tuple[int, int],
+    ) -> np.ndarray:
+        """Eq. 10 over the ``(probes × candidates)`` batch, summing terms in
+        the scalar order.  Node-resource terms depend only on the candidate,
+        so they are computed once per dimension and broadcast over the probe
+        axis — each row receives exactly the scalar sequence of additions.
+
+        Division is only ever applied to strictly positive denominators
+        (non-positive availability contributes ``inf`` directly), so no
+        warnings fire and no errstate guard is needed.
+        """
+        total = np.zeros(shape)
+        node_term = np.empty(available.shape[0])
+        for dimension, required in enumerate(requirement_values):
+            if required <= 0.0:
+                continue
+            column = available[:, dimension]
+            node_term.fill(math.inf)
+            np.divide(required, column, out=node_term, where=column > 0.0)
+            total += node_term
+        for bandwidth_required, rows in bandwidth_rows:
+            if bandwidth_required <= 0.0:
+                continue
+            link_term = np.full(shape, math.inf)
+            np.divide(bandwidth_required, rows, out=link_term, where=rows > 0.0)
+            total += link_term
+        return total

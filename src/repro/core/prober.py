@@ -82,6 +82,7 @@ class ProbingComposer(Composer):
         use_global_state: bool = True,
         ratio_provider: Optional[Callable[[], float]] = None,
         ranking_policy: RankingPolicy = RankingPolicy.RISK_THEN_CONGESTION,
+        vectorized: bool = True,
     ):
         super().__init__(context)
         if not 0.0 < probing_ratio <= 1.0:
@@ -92,6 +93,9 @@ class ProbingComposer(Composer):
         self.use_global_state = use_global_state
         self._ratio_provider = ratio_provider
         self.ranking_policy = ranking_policy
+        #: score candidate pools through repro.core.fastscore array ops;
+        #: False forces the scalar reference implementation
+        self.vectorized = vectorized
 
     # -- knobs -------------------------------------------------------------
 
@@ -113,11 +117,18 @@ class ProbingComposer(Composer):
         beam: List[Probe] = [factory.initial(request, ratio)]
         probe_messages = 0
         explored = 0
-        # per-compose memos: the coarse-grain view of a candidate or a
-        # virtual link cannot change while one request's wavefront runs,
-        # but several probes score the same candidate
-        self._stale_qos_memo: Dict[int, QoSVector] = {}
-        self._stale_bw_memo: Dict[Tuple[int, int], float] = {}
+        # per-compose memos for the scalar path: the coarse-grain view of a
+        # candidate or a virtual link cannot change while one request's
+        # wavefront runs, but several probes score the same candidate.
+        # Locals by design — no per-request state may outlive compose()
+        stale_qos_memo: Dict[int, QoSVector] = {}
+        stale_bw_memo: Dict[Tuple[int, int], float] = {}
+        scorer = None
+        if self.vectorized:
+            fast = context.fast_scorer()
+            if fast.supports(request):
+                fast.begin_request(request)
+                scorer = fast
 
         for function_index in graph.topological_order():
             function = graph.node(function_index).function
@@ -134,32 +145,66 @@ class ProbingComposer(Composer):
             requirement = request.requirement_for(function_index)
             input_rate = rates[function_index]
 
-            pool: List[ScoredCandidate] = []
-            for probe in beam:
-                for candidate in candidates:
-                    explored += 1
-                    entry = self._score_candidate(
-                        probe,
-                        function_index,
-                        candidate,
-                        predecessors,
-                        requirement,
-                        input_rate,
-                    )
-                    if entry is not None:
-                        pool.append(entry)
-            if not pool:
-                return self._fail(
+            if scorer is not None:
+                explored += len(beam) * len(candidates)
+                level = scorer.score_level(
                     request,
-                    "no_qualified_candidates",
-                    probe_messages=probe_messages,
-                    explored=explored,
+                    beam,
+                    function.function_id,
+                    candidates,
+                    function_index,
+                    predecessors,
+                    requirement,
+                    input_rate,
+                    self.use_global_state,
                 )
-
-            if self.hop_policy is HopSelectionPolicy.GUIDED:
-                selected = select_best(pool, budget, ranking=self.ranking_policy)
+                if level.size == 0:
+                    return self._fail(
+                        request,
+                        "no_qualified_candidates",
+                        probe_messages=probe_messages,
+                        explored=explored,
+                    )
+                if self.hop_policy is HopSelectionPolicy.GUIDED:
+                    selected = level.select_best(budget, ranking=self.ranking_policy)
+                else:
+                    # rng.sample draws by position only, so sampling pool
+                    # indices consumes the same randomness as sampling the
+                    # scalar path's materialised pool list
+                    selected = level.take(
+                        context.rng.sample(
+                            range(level.size), min(budget, level.size)
+                        )
+                    )
             else:
-                selected = context.rng.sample(pool, min(budget, len(pool)))
+                pool: List[ScoredCandidate] = []
+                for probe in beam:
+                    for candidate in candidates:
+                        explored += 1
+                        entry = self._score_candidate(
+                            probe,
+                            function_index,
+                            candidate,
+                            predecessors,
+                            requirement,
+                            input_rate,
+                            stale_qos_memo,
+                            stale_bw_memo,
+                        )
+                        if entry is not None:
+                            pool.append(entry)
+                if not pool:
+                    return self._fail(
+                        request,
+                        "no_qualified_candidates",
+                        probe_messages=probe_messages,
+                        explored=explored,
+                    )
+
+                if self.hop_policy is HopSelectionPolicy.GUIDED:
+                    selected = select_best(pool, budget, ranking=self.ranking_policy)
+                else:
+                    selected = context.rng.sample(pool, min(budget, len(pool)))
 
             beam = self._dispatch_probes(
                 request, factory, selected, function_index, predecessors, requirement
@@ -196,8 +241,14 @@ class ProbingComposer(Composer):
         predecessors: Tuple[int, ...],
         requirement,
         input_rate: float,
+        stale_qos_memo: Dict[int, QoSVector],
+        stale_bw_memo: Dict[Tuple[int, int], float],
     ) -> Optional[ScoredCandidate]:
-        """Compatibility + Eqs. 6-8 + Eq. 9/10 scores for one expansion."""
+        """Compatibility + Eqs. 6-8 + Eq. 9/10 scores for one expansion.
+
+        This is the scalar reference implementation; the vectorised twin in
+        :mod:`repro.core.fastscore` must make identical decisions.  The memo
+        dicts are per-compose scratch owned by the caller."""
         context = self.context
         request = probe.request
         # a component instance runs at most one placement per session
@@ -220,15 +271,15 @@ class ProbingComposer(Composer):
         # coarse-grain global state when available, else the advertised
         # (base) interface values.  Probes verify precisely on arrival.
         if self.use_global_state:
-            candidate_qos = self._stale_qos_memo.get(candidate.component_id)
+            candidate_qos = stale_qos_memo.get(candidate.component_id)
             if candidate_qos is None:
                 candidate_qos = context.stale_component_qos(candidate)
-                self._stale_qos_memo[candidate.component_id] = candidate_qos
+                stale_qos_memo[candidate.component_id] = candidate_qos
         else:
             candidate_qos = candidate.qos
 
         # QoS accumulation through the candidate (worst path over joins)
-        link_qos: List[QoSVector] = []
+        pre_qos: Optional[QoSVector] = None
         if predecessors:
             accumulated = None
             for predecessor in predecessors:
@@ -238,13 +289,13 @@ class ProbingComposer(Composer):
                 vl_qos = context.router.virtual_link_qos(
                     upstream.node_id, candidate.node_id
                 )
-                link_qos.append(vl_qos)
                 through = probe.accumulated_out[predecessor].combine(vl_qos)
                 accumulated = (
                     through
                     if accumulated is None
                     else elementwise_max(accumulated, through)
                 )
+            pre_qos = accumulated
             accumulated = accumulated.combine(candidate_qos)
         else:
             accumulated = candidate_qos
@@ -260,13 +311,13 @@ class ProbingComposer(Composer):
             for predecessor in predecessors:
                 upstream = probe.assignment[predecessor]
                 pair = (upstream.node_id, candidate.node_id)
-                stale_bw = self._stale_bw_memo.get(pair)
+                stale_bw = stale_bw_memo.get(pair)
                 if stale_bw is None:
                     path = context.router.overlay_path(*pair)
                     stale_bw = context.global_state.virtual_link_available_kbps(
                         path
                     )
-                    self._stale_bw_memo[pair] = stale_bw
+                    stale_bw_memo[pair] = stale_bw
                 available_bandwidths.append(stale_bw)
             failure = qualification_failure(
                 accumulated,
@@ -296,7 +347,7 @@ class ProbingComposer(Composer):
             congestion=congestion,
             accumulated_qos=accumulated,
             parent=probe,
-            link_qos=tuple(link_qos),
+            pre_qos=pre_qos,
         )
 
     # -- probe travel ----------------------------------------------------------
@@ -334,18 +385,13 @@ class ProbingComposer(Composer):
                 continue  # probe dropped on arrival (precise Eq. 8)
             # re-accumulate QoS with the candidate's *precise* effective
             # values; the stale-guided estimate got the probe here, the
-            # live check decides whether it survives (Eq. 6)
+            # live check decides whether it survives (Eq. 6).  The
+            # through-link part was already accumulated at scoring time
+            # (ScoredCandidate.pre_qos); only the candidate itself differs
+            # between the stale estimate and the live view.
             precise_qos = context.precise_component_qos(candidate)
             if predecessors:
-                accumulated = None
-                for predecessor, vl_qos in zip(predecessors, entry.link_qos):
-                    through = parent.accumulated_out[predecessor].combine(vl_qos)
-                    accumulated = (
-                        through
-                        if accumulated is None
-                        else elementwise_max(accumulated, through)
-                    )
-                accumulated = accumulated.combine(precise_qos)
+                accumulated = entry.pre_qos.combine(precise_qos)
             else:
                 accumulated = precise_qos
             if not accumulated.satisfies(request.qos_requirement):

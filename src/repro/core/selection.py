@@ -48,6 +48,12 @@ class ScoredCandidate:
     parent: object = None
     #: Per-predecessor virtual-link QoS, threaded through for probe state.
     link_qos: Tuple[QoSVector, ...] = ()
+    #: Worst-path QoS accumulated up to (but excluding) this candidate —
+    #: i.e. through the virtual links into it.  ``None`` when the candidate
+    #: has no predecessors.  The prober re-combines this with the
+    #: candidate's *precise* QoS on probe arrival, so the through-link
+    #: accumulation is not recomputed per dispatch.
+    pre_qos: Optional[QoSVector] = None
 
 
 def risk_value(accumulated_qos: QoSVector, requirement: QoSVector) -> float:

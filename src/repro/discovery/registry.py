@@ -27,6 +27,9 @@ class ComponentRegistry:
     def __init__(self, components: Iterable[Component] = ()):
         self._by_function: Dict[int, List[Component]] = {}
         self._by_id: Dict[int, Component] = {}
+        #: monotone deployment epoch, bumped by register/replace; consumers
+        #: (``repro.core.fastscore``) key candidate tables on it
+        self.version = 0
         for component in components:
             self.register(component)
 
@@ -38,6 +41,7 @@ class ComponentRegistry:
         self._by_function.setdefault(component.function.function_id, []).append(
             component
         )
+        self.version += 1
 
     def __len__(self) -> int:
         return len(self._by_id)
@@ -66,6 +70,7 @@ class ComponentRegistry:
         self._by_id[replacement.component_id] = replacement
         pool = self._by_function[old.function.function_id]
         pool[pool.index(old)] = replacement
+        self.version += 1
         return old
 
     def candidates(self, function: StreamFunction) -> Tuple[Component, ...]:

@@ -17,7 +17,10 @@ renders as the same rows the paper plots:
   tuning toward a 90 % target (8(b)).
 
 All harnesses accept an :class:`ExperimentScale` so benchmarks can run the
-same code at reduced fidelity.
+same code at reduced fidelity, and a ``workers`` count that fans the
+figure's independent simulation points out over a process pool via
+:func:`repro.experiments.runner.run_specs` — every point is
+self-seeding, so the parallel results are identical to the serial ones.
 """
 
 from __future__ import annotations
@@ -32,7 +35,7 @@ from repro.experiments.config import (
     RunSpec,
     default_spec,
 )
-from repro.experiments.runner import run_spec
+from repro.experiments.runner import run_specs
 from repro.simulation.metrics import WindowSample
 from repro.simulation.workload import RateSchedule
 
@@ -93,15 +96,21 @@ def run_fig5a(
     probing_ratios: Sequence[float] = DEFAULT_PROBING_RATIOS,
     num_nodes: int = 400,
     seed: int = 0,
+    workers: Optional[int] = None,
 ) -> FigureResult:
     """Fig. 5(a): success rate vs probing ratio under increasing workload."""
     base = _fig5_base(scale, seed, num_nodes)
+    specs = [
+        base.with_rate(rate).with_ratio(ratio)
+        for rate in request_rates
+        for ratio in probing_ratios
+    ]
+    reports = iter(run_specs(specs, workers=workers))
     series: Dict[str, Series] = {}
     for rate in request_rates:
-        points = []
-        for ratio in probing_ratios:
-            report = run_spec(base.with_rate(rate).with_ratio(ratio))
-            points.append((ratio, report.success_rate))
+        points = [
+            (ratio, next(reports).success_rate) for ratio in probing_ratios
+        ]
         label = f"{rate:g} reqs/min"
         series[label] = Series(label, tuple(points))
     return FigureResult("5a", "probing ratio", "success rate (%)", series)
@@ -114,17 +123,23 @@ def run_fig5b(
     probing_ratios: Sequence[float] = DEFAULT_PROBING_RATIOS,
     num_nodes: int = 400,
     seed: int = 0,
+    workers: Optional[int] = None,
 ) -> FigureResult:
     """Fig. 5(b): success rate vs probing ratio under QoS stringency."""
     base = default_spec(
         scale=scale, algorithm="ACP", num_nodes=num_nodes, seed=seed
     ).with_rate(request_rate)
+    specs = [
+        base.with_qos(level).with_ratio(ratio)
+        for level in qos_levels
+        for ratio in probing_ratios
+    ]
+    reports = iter(run_specs(specs, workers=workers))
     series: Dict[str, Series] = {}
     for level in qos_levels:
-        points = []
-        for ratio in probing_ratios:
-            report = run_spec(base.with_qos(level).with_ratio(ratio))
-            points.append((ratio, report.success_rate))
+        points = [
+            (ratio, next(reports).success_rate) for ratio in probing_ratios
+        ]
         label = f"{level} QoS"
         series[label] = Series(label, tuple(points))
     return FigureResult("5b", "probing ratio", "success rate (%)", series)
@@ -140,6 +155,7 @@ def run_fig6(
     probing_ratio: float = 0.3,
     num_nodes: int = 400,
     seed: int = 0,
+    workers: Optional[int] = None,
 ) -> Tuple[FigureResult, FigureResult]:
     """Fig. 6: (a) success rate and (b) overhead vs request rate, 400 nodes."""
     base = (
@@ -147,13 +163,19 @@ def run_fig6(
         .with_qos(DEFAULT_QOS)
         .with_ratio(probing_ratio)
     )
+    specs = [
+        base.with_algorithm(algorithm).with_rate(rate)
+        for algorithm in algorithms
+        for rate in request_rates
+    ]
+    reports = iter(run_specs(specs, workers=workers))
     success: Dict[str, Series] = {}
     overhead: Dict[str, Series] = {}
     for algorithm in algorithms:
         success_points = []
         overhead_points = []
         for rate in request_rates:
-            report = run_spec(base.with_algorithm(algorithm).with_rate(rate))
+            report = next(reports)
             success_points.append((rate, report.success_rate))
             overhead_points.append((rate, report.overhead_per_min))
         success[algorithm] = Series(algorithm, tuple(success_points))
@@ -175,28 +197,32 @@ def run_fig7(
     request_rate: float = 80.0,
     probing_ratio: float = 0.3,
     seed: int = 0,
+    workers: Optional[int] = None,
 ) -> Tuple[FigureResult, FigureResult]:
     """Fig. 7: (a) success rate and (b) overhead vs system size at
     80 req/min; candidate pools scale with the node count (the deployment
     places components per node)."""
+    specs = [
+        default_spec(
+            scale=scale,
+            algorithm=algorithm,
+            num_nodes=node_count,
+            rate_per_min=request_rate,
+            seed=seed,
+        )
+        .with_qos(DEFAULT_QOS)
+        .with_ratio(probing_ratio)
+        for algorithm in algorithms
+        for node_count in node_counts
+    ]
+    reports = iter(run_specs(specs, workers=workers))
     success: Dict[str, Series] = {}
     overhead: Dict[str, Series] = {}
     for algorithm in algorithms:
         success_points = []
         overhead_points = []
         for node_count in node_counts:
-            spec = (
-                default_spec(
-                    scale=scale,
-                    algorithm=algorithm,
-                    num_nodes=node_count,
-                    rate_per_min=request_rate,
-                    seed=seed,
-                )
-                .with_qos(DEFAULT_QOS)
-                .with_ratio(probing_ratio)
-            )
-            report = run_spec(spec)
+            report = next(reports)
             success_points.append((node_count, report.success_rate))
             overhead_points.append((node_count, report.overhead_per_min))
         success[algorithm] = Series(algorithm, tuple(success_points))
@@ -236,6 +262,7 @@ def run_fig8(
     fixed_ratio: float = 0.3,
     num_nodes: int = 400,
     seed: int = 0,
+    workers: Optional[int] = None,
 ) -> Tuple[Fig8Result, Fig8Result]:
     """Fig. 8: (a) fixed probing ratio vs (b) adaptive tuning under the
     dynamic workload.
@@ -261,8 +288,10 @@ def run_fig8(
         target_success_rate=target_success_rate,
     )
 
-    fixed_report = run_spec(base.with_ratio(fixed_ratio))
-    adaptive_report = run_spec(replace(base, adaptive=True))
+    fixed_report, adaptive_report = run_specs(
+        [base.with_ratio(fixed_ratio), replace(base, adaptive=True)],
+        workers=workers,
+    )
     return (
         Fig8Result("8a", fixed_report.window_samples, schedule, None),
         Fig8Result("8b", adaptive_report.window_samples, schedule, target_success_rate),

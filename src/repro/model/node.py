@@ -41,8 +41,10 @@ class Node:
         "router_id",
         "capacity",
         "_allocated",
+        "_available",
         "_components",
         "_listeners",
+        "_liveness_listeners",
         "_alive",
     )
 
@@ -51,8 +53,10 @@ class Node:
         self.router_id = router_id
         self.capacity = capacity
         self._allocated = ResourceVector.zero(capacity.schema)
+        self._available = capacity - self._allocated
         self._components: Dict[int, Component] = {}
         self._listeners: List[NodeListener] = []
+        self._liveness_listeners: List[NodeListener] = []
         self._alive = True
 
     # -- liveness (failure injection) ---------------------------------------
@@ -66,9 +70,13 @@ class Node:
 
     def fail(self) -> None:
         self._alive = False
+        for listener in self._liveness_listeners:
+            listener(self)
 
     def recover(self) -> None:
         self._alive = True
+        for listener in self._liveness_listeners:
+            listener(self)
 
     # -- component hosting ------------------------------------------------
 
@@ -107,8 +115,13 @@ class Node:
 
     @property
     def available(self) -> ResourceVector:
-        """Current available resources ``ra`` = capacity − allocated."""
-        return self.capacity - self._allocated
+        """Current available resources ``ra`` = capacity − allocated.
+
+        Cached: ``_allocated`` only changes in :meth:`allocate` /
+        :meth:`release`, and the probing hot path reads this property many
+        times per request between changes.
+        """
+        return self._available
 
     def can_allocate(self, amount: ResourceVector) -> bool:
         return self._alive and self.available.covers(amount)
@@ -130,6 +143,7 @@ class Node:
                 f"available {self.available}"
             )
         self._allocated = self._allocated + amount
+        self._available = self.capacity - self._allocated
         self._notify()
 
     def release(self, amount: ResourceVector) -> None:
@@ -141,6 +155,7 @@ class Node:
                 f"allocated {self._allocated}"
             )
         self._allocated = released
+        self._available = self.capacity - self._allocated
         self._notify()
 
     # -- observation --------------------------------------------------------
@@ -148,6 +163,14 @@ class Node:
     def add_change_listener(self, listener: NodeListener) -> None:
         """Invoke ``listener(self)`` after every resource change."""
         self._listeners.append(listener)
+
+    def add_liveness_listener(self, listener: NodeListener) -> None:
+        """Invoke ``listener(self)`` after every :meth:`fail` / :meth:`recover`.
+
+        Separate from resource-change listeners: a crash does not move
+        resources (bookkeeping stays intact, see :attr:`alive`), so it must
+        not trigger the threshold-based global state update machinery."""
+        self._liveness_listeners.append(listener)
 
     def _notify(self) -> None:
         for listener in self._listeners:

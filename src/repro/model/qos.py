@@ -25,7 +25,7 @@ from __future__ import annotations
 import enum
 import math
 from dataclasses import dataclass
-from typing import Iterable, Sequence, Tuple
+from typing import Dict, Iterable, Sequence, Tuple
 
 
 class MetricKind(enum.Enum):
@@ -60,7 +60,7 @@ class QoSSchema:
     vectors from different schemas raises ``ValueError``.
     """
 
-    __slots__ = ("_specs", "_names", "_kinds")
+    __slots__ = ("_specs", "_names", "_kinds", "_index")
 
     def __init__(self, specs: Iterable[MetricSpec]):
         self._specs: Tuple[MetricSpec, ...] = tuple(specs)
@@ -69,6 +69,7 @@ class QoSSchema:
             raise ValueError(f"duplicate metric names in schema: {names}")
         self._names: Tuple[str, ...] = tuple(names)
         self._kinds: Tuple[MetricKind, ...] = tuple(s.kind for s in self._specs)
+        self._index: Dict[str, int] = {name: i for i, name in enumerate(names)}
 
     @property
     def specs(self) -> Tuple[MetricSpec, ...]:
@@ -88,8 +89,8 @@ class QoSSchema:
     def index_of(self, name: str) -> int:
         """Return the position of metric ``name``, raising on unknown names."""
         try:
-            return self._names.index(name)
-        except ValueError:
+            return self._index[name]
+        except KeyError:
             raise KeyError(f"unknown QoS metric {name!r}; schema has {self._names}") from None
 
     def __eq__(self, other: object) -> bool:
@@ -117,8 +118,12 @@ _MAX_LOSS = 1.0 - 1e-12
 
 
 def _check_same_schema(a: "QoSVector", b: "QoSVector") -> None:
-    if a.schema != b.schema:
-        raise ValueError(f"QoS schema mismatch: {a.schema!r} vs {b.schema!r}")
+    schema_a = a._schema
+    schema_b = b._schema
+    if schema_a is schema_b:  # the common case — skip the structural compare
+        return
+    if schema_a != schema_b:
+        raise ValueError(f"QoS schema mismatch: {schema_a!r} vs {schema_b!r}")
 
 
 class QoSVector:
@@ -132,11 +137,22 @@ class QoSVector:
     __slots__ = ("_schema", "_values")
 
     def __init__(self, schema: QoSSchema, values: Sequence[float]):
-        values = tuple(float(v) for v in values)
+        values = tuple(map(float, values))
         if len(values) != len(schema):
             raise ValueError(
                 f"expected {len(schema)} values for schema {schema!r}, got {len(values)}"
             )
+        for kind, value in zip(schema.kinds, values):
+            if value < 0.0 or (
+                kind is MetricKind.MULTIPLICATIVE_LOSS and value >= 1.0
+            ):
+                self._raise_invalid(schema, values)
+        self._schema = schema
+        self._values = values
+
+    @staticmethod
+    def _raise_invalid(schema: QoSSchema, values: Tuple[float, ...]) -> None:
+        """Re-derive which value failed validation and raise for it."""
         for spec, value in zip(schema.specs, values):
             if value < 0.0:
                 raise ValueError(f"negative QoS value {value} for metric {spec.name!r}")
@@ -144,13 +160,25 @@ class QoSVector:
                 raise ValueError(
                     f"loss-kind metric {spec.name!r} must be in [0, 1), got {value}"
                 )
-        self._schema = schema
-        self._values = values
+        raise AssertionError("unreachable: _raise_invalid called on valid values")
 
     @classmethod
     def zero(cls, schema: QoSSchema = DEFAULT_QOS_SCHEMA) -> "QoSVector":
         """The identity element of :meth:`combine`: zero delay, zero loss."""
         return cls(schema, [0.0] * len(schema))
+
+    @classmethod
+    def _raw(cls, schema: QoSSchema, values: Tuple[float, ...]) -> "QoSVector":
+        """Internal fast constructor skipping conversion and validation.
+
+        Only for callers that can *prove* the values pass ``__init__``'s
+        checks (already floats, correct width, in-range) — e.g. the
+        load-dependent QoS model, whose outputs are clamped below 1.
+        """
+        self = object.__new__(cls)
+        self._schema = schema
+        self._values = values
+        return self
 
     @property
     def schema(self) -> QoSSchema:

@@ -28,6 +28,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+import numpy as np
+
 from repro.model.component import Component
 from repro.model.qos import QoSVector
 from repro.model.resources import ResourceVector
@@ -71,4 +73,24 @@ class LoadDependentQoSModel:
             _MAX_LOSS,
             base["loss_rate"] * (1.0 + self.loss_load_factor * utilization),
         )
-        return QoSVector(base.schema, [delay, loss])
+        schema = base.schema
+        if len(schema) == 2:
+            # validation provably passes: delay >= 0 (non-negative base times
+            # a factor >= 1) and loss in [0, _MAX_LOSS] — skip it
+            return QoSVector._raw(schema, (delay, loss))
+        return QoSVector(schema, [delay, loss])
+
+    def effective_qos_arrays(self, base_delay, base_loss, utilization):
+        """Vectorised :meth:`effective_qos` over candidate arrays.
+
+        ``base_delay``/``base_loss``/``utilization`` are parallel NumPy
+        arrays (one entry per candidate); returns ``(delay, loss)`` arrays
+        computed with exactly the scalar formula's operation order, so the
+        vectorised probing path (``repro.core.fastscore``) scores candidates
+        on bit-identical values.
+        """
+        delay = base_delay * (1.0 + self.delay_load_factor * utilization)
+        loss = np.minimum(
+            _MAX_LOSS, base_loss * (1.0 + self.loss_load_factor * utilization)
+        )
+        return delay, loss

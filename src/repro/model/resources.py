@@ -80,8 +80,12 @@ DEFAULT_RESOURCE_SCHEMA = ResourceSchema(
 
 
 def _check_same_schema(a: "ResourceVector", b: "ResourceVector") -> None:
-    if a.schema != b.schema:
-        raise ValueError(f"resource schema mismatch: {a.schema!r} vs {b.schema!r}")
+    schema_a = a._schema
+    schema_b = b._schema
+    if schema_a is schema_b:  # the common case — skip the structural compare
+        return
+    if schema_a != schema_b:
+        raise ValueError(f"resource schema mismatch: {schema_a!r} vs {schema_b!r}")
 
 
 class ResourceVector:
@@ -107,6 +111,23 @@ class ResourceVector:
     def zero(cls, schema: ResourceSchema = DEFAULT_RESOURCE_SCHEMA) -> "ResourceVector":
         return cls(schema, [0.0] * len(schema))
 
+    @classmethod
+    def _raw(
+        cls, schema: ResourceSchema, values: Tuple[float, ...]
+    ) -> "ResourceVector":
+        """Internal fast constructor for arithmetic results.
+
+        Skips the per-element ``float()`` conversion and length check —
+        callers guarantee ``values`` is already a float tuple of the
+        schema's width (anything built from existing vectors is).  The
+        resource-allocation hot path constructs tens of vectors per probe,
+        so this shows up in every simulated request.
+        """
+        self = object.__new__(cls)
+        self._schema = schema
+        self._values = values
+        return self
+
     @property
     def schema(self) -> ResourceSchema:
         return self._schema
@@ -120,18 +141,20 @@ class ResourceVector:
 
     def __add__(self, other: "ResourceVector") -> "ResourceVector":
         _check_same_schema(self, other)
-        return ResourceVector(
-            self._schema, [a + b for a, b in zip(self._values, other._values)]
+        return ResourceVector._raw(
+            self._schema, tuple(a + b for a, b in zip(self._values, other._values))
         )
 
     def __sub__(self, other: "ResourceVector") -> "ResourceVector":
         _check_same_schema(self, other)
-        return ResourceVector(
-            self._schema, [a - b for a, b in zip(self._values, other._values)]
+        return ResourceVector._raw(
+            self._schema, tuple(a - b for a, b in zip(self._values, other._values))
         )
 
     def scaled(self, factor: float) -> "ResourceVector":
-        return ResourceVector(self._schema, [v * factor for v in self._values])
+        return ResourceVector._raw(
+            self._schema, tuple(v * factor for v in self._values)
+        )
 
     def is_nonnegative(self, tolerance: float = 1e-9) -> bool:
         """True iff every dimension is ≥ 0 (up to ``tolerance``)."""

@@ -68,6 +68,10 @@ class GlobalStateManager:
         self.node_update_messages = 0
         #: messages spent on overlay-link reports to the aggregation node
         self.link_update_messages = 0
+        #: monotone epochs, bumped whenever a published snapshot changes;
+        #: consumers (``repro.core.fastscore``) key derived caches on them
+        self.node_version = 0
+        self.link_version = 0
 
         self._node_snapshots: Dict[int, ResourceVector] = {}
         self._link_snapshots: Dict[int, float] = {}
@@ -135,6 +139,7 @@ class GlobalStateManager:
             self._node_snapshots[node.node_id] = self._quantize_node(node)
             self._node_reported[node.node_id] = current
             self.node_update_messages += 1
+            self.node_version += 1
 
     def _on_link_change(self, link: OverlayLink) -> None:
         reported = self._link_reported[link.link_id]
@@ -142,6 +147,7 @@ class GlobalStateManager:
             self._link_snapshots[link.link_id] = self._quantize_link(link)
             self._link_reported[link.link_id] = link.available_kbps
             self.link_update_messages += 1
+            self.link_version += 1
 
     def force_refresh(self) -> None:
         """Snapshot everything (used by tests and by a fresh system)."""
@@ -151,6 +157,8 @@ class GlobalStateManager:
         for link in self.network.links:
             self._link_snapshots[link.link_id] = self._quantize_link(link)
             self._link_reported[link.link_id] = link.available_kbps
+        self.node_version += 1
+        self.link_version += 1
 
     # -- query path (what ACP's candidate selection reads) --------------------
 

@@ -169,12 +169,29 @@ class OverlayNetwork:
             adjacency[link.node_a].append(link.link_id)
             adjacency[link.node_b].append(link.link_id)
         self._adjacency = {k: tuple(v) for k, v in adjacency.items()}
+        self._down_node_ids: set = set()
+        for node in self._nodes:
+            if not node.alive:
+                self._down_node_ids.add(node.node_id)
+            node.add_liveness_listener(self._on_liveness_change)
+
+    def _on_liveness_change(self, node: Node) -> None:
+        if node.alive:
+            self._down_node_ids.discard(node.node_id)
+        else:
+            self._down_node_ids.add(node.node_id)
 
     # -- accessors ---------------------------------------------------------
 
     @property
     def nodes(self) -> Tuple[Node, ...]:
         return self._nodes
+
+    @property
+    def down_node_ids(self) -> frozenset:
+        """Ids of currently-crashed nodes (usually empty), maintained via
+        liveness listeners so hot paths need not poll every node."""
+        return frozenset(self._down_node_ids)
 
     @property
     def links(self) -> Tuple[OverlayLink, ...]:

@@ -25,7 +25,7 @@ from scipy.sparse import csr_matrix
 from scipy.sparse.csgraph import dijkstra
 
 from repro.model.component_graph import VirtualLinkPath
-from repro.model.qos import QoSVector, combine_all
+from repro.model.qos import MetricKind, QoSVector, combine_all
 from repro.topology.overlay import OverlayNetwork
 
 
@@ -41,12 +41,23 @@ class OverlayRouter:
         self._down_nodes: frozenset = frozenset()
         self._path_cache: Dict[Tuple[int, int], Tuple[int, ...]] = {}
         self._qos_cache: Dict[Tuple[int, int], QoSVector] = {}
+        self._row_cache: Dict[int, Tuple[np.ndarray, np.ndarray]] = {}
+        #: monotone topology epoch, bumped by every :meth:`_solve`; derived
+        #: caches (``repro.core.fastscore``) key on it
+        self.epoch = 0
         schema = (
             network.links[0].qos.schema
             if network.links
             else QoSVector.zero().schema
         )
         self._zero_qos = QoSVector.zero(schema)
+        # the per-source rows of virtual_link_rows represent the full link
+        # QoS only for the default (delay, loss) metric shape; other schemas
+        # keep the per-pair combine_all fold
+        self._rows_represent_qos = schema.kinds == (
+            MetricKind.ADDITIVE,
+            MetricKind.MULTIPLICATIVE_LOSS,
+        )
         self._solve()
 
     def _solve(self) -> None:
@@ -72,6 +83,8 @@ class OverlayRouter:
         )
         self._path_cache.clear()
         self._qos_cache.clear()
+        self._row_cache.clear()
+        self.epoch += 1
 
     # -- liveness (failure injection) -----------------------------------------
 
@@ -131,19 +144,81 @@ class OverlayRouter:
     # -- virtual links -------------------------------------------------------
 
     def virtual_link_qos(self, node_a: int, node_b: int) -> QoSVector:
-        """Static aggregated QoS of the virtual link between two nodes."""
+        """Static aggregated QoS of the virtual link between two nodes.
+
+        For the default (delay, loss) schema this reads the per-source rows
+        of :meth:`virtual_link_rows` — the same floats the vectorised
+        scoring path (``repro.core.fastscore``) ranks on — so the cache is
+        keyed on the *directed* pair; both directions fold the same links
+        and agree to within summation order.
+        """
         if node_a == node_b:
             return self._zero_qos
-        key = (min(node_a, node_b), max(node_a, node_b))
+        key = (node_a, node_b)
         cached = self._qos_cache.get(key)
         if cached is None:
-            path = self.overlay_path(node_a, node_b)
-            cached = combine_all(
-                (self.network.link(link_id).qos for link_id in path),
-                self._zero_qos.schema,
-            )
+            if self._rows_represent_qos:
+                if not self.reachable(node_a, node_b):
+                    raise RoutingError(f"no overlay path v{node_a} -> v{node_b}")
+                delay_row, loss_row = self.virtual_link_rows(node_a)
+                cached = QoSVector(
+                    self._zero_qos.schema,
+                    [float(delay_row[node_b]), float(loss_row[node_b])],
+                )
+            else:
+                path = self.overlay_path(node_a, node_b)
+                cached = combine_all(
+                    (self.network.link(link_id).qos for link_id in path),
+                    self._zero_qos.schema,
+                )
             self._qos_cache[key] = cached
         return cached
+
+    def virtual_link_rows(self, source: int) -> Tuple[np.ndarray, np.ndarray]:
+        """Virtual-link QoS from ``source`` to *every* node, as arrays.
+
+        Returns ``(delay_row, loss_row)``: per destination the delay sum and
+        the composed loss rate along the delay-shortest path.  Unreachable
+        destinations have infinite delay (loss is left at 0 there; callers
+        must mask on reachability).  Rows are cached per topology epoch —
+        the loss accumulation walks the shortest-path tree in distance
+        order, applying the same raw-space composition
+        ``1 − (1 − a)(1 − b)`` per tree edge that :meth:`virtual_link_qos`
+        folds along the path, so both views agree.
+        """
+        cached = self._row_cache.get(source)
+        if cached is not None:
+            return cached
+        distances = self._distances[source]
+        predecessors = self._predecessors[source]
+        loss_row = np.zeros(len(self.network))
+        loss_index = next(
+            (
+                index
+                for index, kind in enumerate(self._zero_qos.schema.kinds)
+                if kind is MetricKind.MULTIPLICATIVE_LOSS
+            ),
+            None,
+        )
+        for destination in np.argsort(distances, kind="stable"):
+            destination = int(destination)
+            if destination == source:
+                continue
+            if not np.isfinite(distances[destination]):
+                break  # infinities sort last: the rest are unreachable too
+            previous = int(predecessors[destination])
+            link = self.network.link_between(previous, destination)
+            if link is None:  # pragma: no cover - predecessor matrix guarantees it
+                raise RoutingError(
+                    f"routing inconsistency between v{previous} and v{destination}"
+                )
+            link_loss = link.qos.values[loss_index] if loss_index is not None else 0.0
+            loss_row[destination] = 1.0 - (1.0 - loss_row[previous]) * (
+                1.0 - link_loss
+            )
+        rows = (distances, loss_row)
+        self._row_cache[source] = rows
+        return rows
 
     def virtual_link(self, node_a: int, node_b: int) -> VirtualLinkPath:
         """The virtual link between two (possibly identical) nodes."""

@@ -1,0 +1,189 @@
+"""Scalar ↔ vectorised scorer equivalence (the fastscore contract).
+
+``repro.core.fastscore`` promises that the vectorised probing path makes
+*identical composition decisions* to the scalar reference — same success,
+same selected components, same message counts — because every array
+expression mirrors the scalar operation order.  These tests enforce the
+contract end to end over real systems, including the configurations that
+exercise its trickiest paths:
+
+* guided ACP probing (risk/congestion ranking over the stale view),
+* failed nodes (the per-request liveness mask),
+* random-probing (RP) hop selection, whose rng draws must line up
+  position-for-position between the two pool representations.
+
+They also pin the memo-leak fix: per-request scoring state must not
+outlive one ``compose()`` call.
+"""
+
+import random
+
+import pytest
+
+from repro.core import ACPComposer
+from repro.core.baselines import RandomProbingComposer
+from repro.experiments import EVALUATION_DEPLOYMENT
+from repro.model.request import StreamRequest, derive_bandwidth_requirements
+from repro.model.qos import DEFAULT_QOS_SCHEMA, QoSVector
+from repro.model.resources import DEFAULT_RESOURCE_SCHEMA, ResourceVector
+from repro.simulation import SystemConfig, build_system
+
+CONFIG = SystemConfig(
+    num_routers=240, num_nodes=100, deployment=EVALUATION_DEPLOYMENT, seed=7
+)
+
+
+def fresh_context():
+    system = build_system(CONFIG)
+    return system, system.composition_context(rng=random.Random(11))
+
+
+def requests_for(system, count, qos=(420.0, 0.25), rate=90.0):
+    """A deterministic mixed-template request stream."""
+    out = []
+    for i in range(count):
+        graph = system.templates[i % len(system.templates)].graph
+        out.append(
+            StreamRequest(
+                request_id=i,
+                function_graph=graph,
+                qos_requirement=QoSVector(DEFAULT_QOS_SCHEMA, list(qos)),
+                node_requirements={
+                    j: ResourceVector(DEFAULT_RESOURCE_SCHEMA, [4.0, 25.0])
+                    for j in range(len(graph))
+                },
+                bandwidth_requirements=derive_bandwidth_requirements(
+                    graph, rate, 2.0
+                ),
+                stream_rate=rate,
+            )
+        )
+    return out
+
+
+def outcome_signature(request, outcome):
+    """Everything a composition decision consists of."""
+    if outcome.composition is None:
+        assignment = None
+    else:
+        assignment = tuple(
+            outcome.composition.component(i).component_id
+            for i in range(len(request.function_graph))
+        )
+    return (
+        outcome.success,
+        assignment,
+        outcome.probe_messages,
+        outcome.setup_messages,
+        outcome.explored,
+        outcome.failure_reason,
+    )
+
+
+def assert_identical_decisions(composer_vec, composer_sca, context, requests):
+    for request in requests:
+        vec = composer_vec.compose(request)
+        context.allocator.cancel_transient(request.request_id)
+        sca = composer_sca.compose(request)
+        context.allocator.cancel_transient(request.request_id)
+        assert outcome_signature(request, vec) == outcome_signature(
+            request, sca
+        ), f"decision diverged on request {request.request_id}"
+
+
+def test_acp_decisions_identical():
+    system, context = fresh_context()
+    vec = ACPComposer(context, probing_ratio=0.3, vectorized=True)
+    sca = ACPComposer(context, probing_ratio=0.3, vectorized=False)
+    assert_identical_decisions(vec, sca, context, requests_for(system, 40))
+
+
+def test_acp_decisions_identical_tight_qos():
+    """Near-infeasible bounds exercise the qualification edges."""
+    system, context = fresh_context()
+    vec = ACPComposer(context, probing_ratio=0.5, vectorized=True)
+    sca = ACPComposer(context, probing_ratio=0.5, vectorized=False)
+    requests = requests_for(system, 25, qos=(180.0, 0.08), rate=120.0)
+    assert_identical_decisions(vec, sca, context, requests)
+
+
+def test_acp_decisions_identical_with_down_nodes():
+    """The vectorised liveness mask must match per-candidate alive checks."""
+    system, context = fresh_context()
+    vec = ACPComposer(context, probing_ratio=0.3, vectorized=True)
+    sca = ACPComposer(context, probing_ratio=0.3, vectorized=False)
+    requests = requests_for(system, 30)
+
+    down = [system.network.node(node_id) for node_id in (3, 17, 42, 80)]
+    for node in down:
+        node.fail()
+    try:
+        assert_identical_decisions(vec, sca, context, requests[:15])
+        # partial recovery mid-stream: the mask must track transitions
+        down[0].recover()
+        down[1].recover()
+        assert_identical_decisions(vec, sca, context, requests[15:])
+    finally:
+        for node in down:
+            if not node.alive:
+                node.recover()
+
+
+def test_random_probing_decisions_identical():
+    """RP consumes rng draws; pool order and draw positions must line up.
+
+    The two composers each get their own identically-seeded system and
+    rng, so the random hop selections are comparable draw for draw.
+    """
+    system_a, context_a = fresh_context()
+    system_b, context_b = fresh_context()
+    vec = RandomProbingComposer(context_a, probing_ratio=0.4, vectorized=True)
+    sca = RandomProbingComposer(context_b, probing_ratio=0.4, vectorized=False)
+    for req_a, req_b in zip(
+        requests_for(system_a, 30), requests_for(system_b, 30)
+    ):
+        out_a = vec.compose(req_a)
+        context_a.allocator.cancel_transient(req_a.request_id)
+        out_b = sca.compose(req_b)
+        context_b.allocator.cancel_transient(req_b.request_id)
+        assert outcome_signature(req_a, out_a) == outcome_signature(
+            req_b, out_b
+        ), f"RP decision diverged on request {req_a.request_id}"
+
+
+def test_compose_leaves_no_per_request_state():
+    """Per-request scoring memos are compose()-local; nothing may leak
+    onto the composer between requests (the bug this PR removed)."""
+    system, context = fresh_context()
+    composer = ACPComposer(context, probing_ratio=0.3, vectorized=False)
+    requests = requests_for(system, 3)
+
+    composer.compose(requests[0])
+    context.allocator.cancel_transient(requests[0].request_id)
+    attrs_after_first = set(vars(composer))
+    for request in requests[1:]:
+        composer.compose(request)
+        context.allocator.cancel_transient(request.request_id)
+        assert set(vars(composer)) == attrs_after_first
+    assert not hasattr(composer, "_stale_qos_memo")
+    assert not hasattr(composer, "_stale_bw_memo")
+
+
+def test_fast_scorer_is_shared_and_epoch_keyed():
+    """One FastScorer per context, reused across composers and requests;
+    its caches key on substrate epochs, not on requests."""
+    system, context = fresh_context()
+    first = ACPComposer(context, probing_ratio=0.3)
+    second = ACPComposer(context, probing_ratio=0.6)
+    assert context.fast_scorer() is context.fast_scorer()
+
+    request = requests_for(system, 1)[0]
+    first.compose(request)
+    context.allocator.cancel_transient(request.request_id)
+    scorer = context.fast_scorer()
+    tables_before = dict(scorer._tables)
+    second.compose(request)
+    context.allocator.cancel_transient(request.request_id)
+    # same registry version → the candidate tables were reused, not rebuilt
+    for function_id, table in scorer._tables.items():
+        assert tables_before.get(function_id) is table
