@@ -3,7 +3,7 @@
 
 PYTEST := PYTHONPATH=src python -m pytest
 
-.PHONY: test bench bench-micro
+.PHONY: test bench bench-micro bench-macro
 
 test:
 	$(PYTEST) -x -q tests
@@ -15,6 +15,14 @@ test:
 bench-micro:
 	$(PYTEST) -q benchmarks/test_micro_operations.py
 	@echo "medians: benchmarks/results/BENCH_micro.json"
+
+# Macro churn benchmark: one Fig. 8-style simulation (dynamic load +
+# stochastic failures) timed with eager vs incremental routing.  Timings
+# land in benchmarks/results/BENCH_macro.json; the run asserts the two
+# modes make identical decisions and that incremental is >= 2x faster.
+bench-macro:
+	$(PYTEST) -q -s benchmarks/test_macro_churn.py
+	@echo "timings: benchmarks/results/BENCH_macro.json"
 
 # Full benchmark suite: every figure harness at FAST_SCALE plus the micro
 # operations.  Figure rows land in benchmarks/results/*.txt.

@@ -1,0 +1,114 @@
+"""Macro benchmark: a Fig. 8-style churn run, incremental vs eager routing.
+
+The adaptability and scalability results (Figs. 7-8) run under continuous
+node failure and recovery.  With the eager baseline every churn event
+re-solves all-pairs shortest paths and flushes every derived cache; the
+incremental router (lazy per-source trees + dirty-set invalidation)
+re-solves only the trees the event can affect and keeps everyone else's
+cached state — including ``fastscore``'s candidate-table columns — valid.
+
+This harness times the *same* end-to-end simulation (dynamic 3-phase
+workload plus stochastic crash/recovery rounds) both ways, checks the two
+runs are decision-identical (same report, same failure events — the
+incremental router must not change a single composition), and writes
+
+    benchmarks/results/BENCH_macro.json
+
+with the wall-clock figures.  The acceptance bar is a >= 2x speedup;
+EXPERIMENTS.md quotes the recorded numbers.
+"""
+
+from __future__ import annotations
+
+import json
+import random
+import time
+
+from repro.core import ACPComposer
+from repro.simulation import (
+    FailureInjector,
+    RateSchedule,
+    StreamProcessingSimulator,
+    WorkloadGenerator,
+)
+from repro.simulation.system import SystemConfig, build_system
+
+#: One churn-heavy macro point: mid-size mesh, 3-phase load, a failure
+#: round every 5 simulated seconds.  All seeds fixed — the eager and
+#: incremental runs must see byte-identical systems and event streams.
+MACRO_CONFIG = dict(
+    num_routers=800,
+    num_nodes=400,
+    seed=11,
+    duration_s=900.0,
+    failure_period_s=5.0,
+    fail_probability=0.02,
+    recover_probability=0.5,
+    probing_ratio=0.3,
+)
+
+
+def _run_churn(incremental: bool):
+    config = SystemConfig(
+        num_routers=MACRO_CONFIG["num_routers"],
+        num_nodes=MACRO_CONFIG["num_nodes"],
+        seed=MACRO_CONFIG["seed"],
+        incremental_routing=incremental,
+    )
+    system = build_system(config)
+    injector = FailureInjector(
+        system.network,
+        system.router,
+        fail_probability=MACRO_CONFIG["fail_probability"],
+        recover_probability=MACRO_CONFIG["recover_probability"],
+        period_s=MACRO_CONFIG["failure_period_s"],
+        rng=random.Random(7),
+    )
+    duration = MACRO_CONFIG["duration_s"]
+    workload = WorkloadGenerator(
+        system.templates,
+        RateSchedule.steps(  # Fig. 8's 3-phase shape, scaled down
+            (0.0, 6.0), (duration / 3.0, 12.0), (2.0 * duration / 3.0, 9.0)
+        ),
+        seed=13,
+    )
+    composer = ACPComposer(
+        system.composition_context(rng=random.Random(9)),
+        probing_ratio=MACRO_CONFIG["probing_ratio"],
+    )
+    simulator = StreamProcessingSimulator(
+        system, composer, workload, sampling_period_s=150.0, failures=injector
+    )
+    start = time.perf_counter()
+    report = simulator.run(duration)
+    elapsed = time.perf_counter() - start
+    return elapsed, report, injector.events
+
+
+def test_macro_churn_speedup(results_dir):
+    eager_s, eager_report, eager_events = _run_churn(incremental=False)
+    incremental_s, incremental_report, incremental_events = _run_churn(
+        incremental=True
+    )
+
+    # the routing refactor must be invisible to the simulation: identical
+    # churn trajectory, identical composition decisions, identical figures
+    assert incremental_events == eager_events
+    assert incremental_report == eager_report
+    assert len(eager_events) > 50  # the run actually exercised churn
+
+    speedup = eager_s / incremental_s
+    payload = {
+        "config": MACRO_CONFIG,
+        "churn_events": len(eager_events),
+        "total_requests": eager_report.total_requests,
+        "eager_seconds": round(eager_s, 3),
+        "incremental_seconds": round(incremental_s, 3),
+        "speedup": round(speedup, 2),
+    }
+    (results_dir / "BENCH_macro.json").write_text(
+        json.dumps(payload, indent=2) + "\n"
+    )
+    print(f"\nmacro churn: eager {eager_s:.2f}s, incremental "
+          f"{incremental_s:.2f}s, speedup {speedup:.2f}x\n")
+    assert speedup >= 2.0

@@ -20,11 +20,13 @@ over the whole candidate pool of a function, fed by caches that persist
   node-available resource matrix; keyed on
   :attr:`GlobalStateManager.node_version`;
 * **virtual-link QoS rows** (per source node) — delay/loss to every
-  destination, computed once per :attr:`OverlayRouter.epoch` (i.e. per
-  topology ``_solve``) by :meth:`OverlayRouter.virtual_link_rows`;
-* **stale virtual-link bottleneck bandwidth** (per node pair) — entries
-  individually re-validated against ``(link_version, epoch)`` so a global
-  state update lazily invalidates only the pairs actually re-read.
+  destination, served read-only by :meth:`OverlayRouter.virtual_link_rows`
+  and maintained incrementally under churn by the router itself;
+* **stale virtual-link bottleneck bandwidth** (per source node) — one
+  whole-row tree pass (:meth:`OverlayRouter.bottleneck_bandwidth_row` over
+  :attr:`GlobalStateManager.link_available_array`) re-validated against
+  ``(link_version, row_version)``, so a churn event rebuilds only the rows
+  of sources whose shortest-path tree actually changed.
 
 This supersedes the per-compose ``_stale_qos_memo`` / ``_stale_bw_memo``
 rebuild the prober used to carry on the instance: nothing here is
@@ -55,7 +57,6 @@ from repro.model.component import Component
 from repro.model.qos import MetricKind, QoSVector
 from repro.model.qos_model import LoadDependentQoSModel
 from repro.model.request import StreamRequest
-from repro.topology.routing import RoutingError
 
 #: Loss values are clamped just below 1 before the additive transform,
 #: matching ``QoSVector.additive_values``.
@@ -303,16 +304,13 @@ class FastScorer:
         self.context = context
         self.schema = None
         self._tables: Dict[int, _CandidateTable] = {}
-        #: (a, b) -> (link_version, epoch, bottleneck kbps); entries are
-        #: re-validated lazily, so state updates don't mass-invalidate
-        self._pair_bandwidth: Dict[Tuple[int, int], Tuple[int, int, float]] = {}
-        #: (function_id, upstream_node) -> (registry_version, link_version,
-        #: epoch, row of stale bottleneck kbps per candidate, -inf where
-        #: unreachable).  Mask-independent: masked candidates are already
-        #: excluded from ``qualified``, so their row entries are never read.
-        self._bandwidth_rows: Dict[
-            Tuple[int, int], Tuple[int, int, int, np.ndarray]
-        ] = {}
+        #: upstream node -> (link_version, row_version, full row of stale
+        #: bottleneck kbps per destination node, -inf where unreachable).
+        #: Keyed per source on the router's row version, so churn rebuilds
+        #: only the rows whose shortest-path tree actually changed.
+        #: Mask-independent: masked candidates are already excluded from
+        #: ``qualified``, so their row entries are never read.
+        self._bandwidth_rows: Dict[int, Tuple[int, int, np.ndarray]] = {}
         self._alive: Optional[np.ndarray] = None
         #: shared all-True mask reused whenever no node is down; never mutated
         self._all_alive: Optional[np.ndarray] = None
@@ -363,22 +361,6 @@ class FastScorer:
             table = _CandidateTable(candidates, version)
             self._tables[function_id] = table
         return table
-
-    def _stale_bandwidth(self, node_a: int, node_b: int) -> float:
-        """Coarse-grain virtual-link bottleneck bandwidth, epoch-validated."""
-        if node_a == node_b:
-            return float("inf")
-        context = self.context
-        link_version = context.global_state.link_version
-        epoch = context.router.epoch
-        key = (node_a, node_b)
-        entry = self._pair_bandwidth.get(key)
-        if entry is not None and entry[0] == link_version and entry[1] == epoch:
-            return entry[2]
-        path = context.router.overlay_path(node_a, node_b)
-        bandwidth = context.global_state.virtual_link_available_kbps(path)
-        self._pair_bandwidth[key] = (link_version, epoch, bandwidth)
-        return bandwidth
 
     # -- scoring ---------------------------------------------------------------
 
@@ -523,7 +505,7 @@ class FastScorer:
                 rows = np.empty((probe_count, pool_size))
                 for position, probe in enumerate(probes):
                     rows[position] = self._bandwidth_row(
-                        function_id, table, probe.assignment[predecessor].node_id
+                        table, probe.assignment[predecessor].node_id
                     )
                 bandwidth_rows.append((bandwidth_required, rows))
                 qualified &= rows >= bandwidth_required - 1e-9
@@ -567,36 +549,28 @@ class FastScorer:
         )
 
     def _bandwidth_row(
-        self, function_id: int, table: _CandidateTable, upstream_node: int
+        self, table: _CandidateTable, upstream_node: int
     ) -> np.ndarray:
         """Stale bottleneck bandwidth from ``upstream_node`` to each of a
-        function's candidate nodes, cached across requests.
+        function's candidate nodes, gathered from a cached full row.
 
-        The row is mask-independent (``-inf`` for unreachable nodes — which
-        the wavefront masks out anyway), so one row serves every probe that
-        reaches this function from the same upstream node until a link
-        state update or a topology re-solve invalidates it.
+        The full row — one shortest-path-tree pass over the coarse-grain
+        link state, ``-inf`` for unreachable nodes (which the wavefront
+        masks out anyway) — serves every probe and every function level
+        fed from the same upstream node, until a link state update bumps
+        ``link_version`` or churn bumps this source's ``row_version``.
         """
         context = self.context
         link_version = context.global_state.link_version
-        epoch = context.router.epoch
-        key = (function_id, upstream_node)
-        entry = self._bandwidth_rows.get(key)
-        if (
-            entry is not None
-            and entry[0] == table.registry_version
-            and entry[1] == link_version
-            and entry[2] == epoch
-        ):
-            return entry[3]
-        row = np.empty(len(table.node_ids))
-        for position, node_id in enumerate(table.node_ids.tolist()):
-            try:
-                row[position] = self._stale_bandwidth(upstream_node, node_id)
-            except RoutingError:
-                row[position] = -math.inf
-        self._bandwidth_rows[key] = (table.registry_version, link_version, epoch, row)
-        return row
+        row_version = context.router.row_version(upstream_node)
+        entry = self._bandwidth_rows.get(upstream_node)
+        if entry is None or entry[0] != link_version or entry[1] != row_version:
+            full_row = context.router.bottleneck_bandwidth_row(
+                upstream_node, context.global_state.link_available_array
+            )
+            entry = (link_version, row_version, full_row)
+            self._bandwidth_rows[upstream_node] = entry
+        return entry[2][table.node_ids]
 
     @staticmethod
     def _risk(

@@ -313,6 +313,10 @@ class ProbingComposer(Composer):
                 pair = (upstream.node_id, candidate.node_id)
                 stale_bw = stale_bw_memo.get(pair)
                 if stale_bw is None:
+                    # per-pair path walk (the path itself is cached by the
+                    # router's per-source tree); the vectorised twin scores
+                    # whole candidate columns at once from the router's
+                    # bottleneck_bandwidth_row instead
                     path = context.router.overlay_path(*pair)
                     stale_bw = context.global_state.virtual_link_available_kbps(
                         path

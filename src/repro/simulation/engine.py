@@ -27,18 +27,31 @@ class SchedulerError(RuntimeError):
 class ScheduledEvent:
     """Handle to a scheduled callback; supports cancellation."""
 
-    __slots__ = ("time", "seq", "action", "name", "cancelled")
+    __slots__ = ("time", "seq", "action", "name", "cancelled", "_in_heap", "_scheduler")
 
-    def __init__(self, time: float, seq: int, action: Callable[[], None], name: str):
+    def __init__(
+        self,
+        time: float,
+        seq: int,
+        action: Callable[[], None],
+        name: str,
+        scheduler: "Optional[EventScheduler]" = None,
+    ):
         self.time = time
         self.seq = seq
         self.action = action
         self.name = name
         self.cancelled = False
+        self._in_heap = False
+        self._scheduler = scheduler
 
     def cancel(self) -> None:
         """Prevent the event from firing (safe after it fired: no-op)."""
+        if self.cancelled:
+            return
         self.cancelled = True
+        if self._in_heap and self._scheduler is not None:
+            self._scheduler._note_cancelled()
 
     def __lt__(self, other: "ScheduledEvent") -> bool:
         return (self.time, self.seq) < (other.time, other.seq)
@@ -66,12 +79,22 @@ class PeriodicTask:
 
 
 class EventScheduler:
-    """A future event list with a simulated clock (seconds)."""
+    """A future event list with a simulated clock (seconds).
+
+    Cancelled events are removed lazily: each stays in the heap until
+    popped, but whenever cancelled entries outnumber live ones the heap is
+    compacted in one pass.  The heap therefore never exceeds twice the live
+    event count and ``len()`` is O(1).
+    """
 
     def __init__(self) -> None:
         self._heap: List[ScheduledEvent] = []
         self._seq = itertools.count()
         self._now = 0.0
+        # cancelled events still sitting in the heap; when they outnumber
+        # the live ones the heap is compacted, so periodic-task churn
+        # (schedule → cancel → reschedule) cannot grow the heap unboundedly
+        self._cancelled_in_heap = 0
         #: events executed since construction
         self.processed = 0
 
@@ -80,7 +103,23 @@ class EventScheduler:
         return self._now
 
     def __len__(self) -> int:
-        return sum(1 for event in self._heap if not event.cancelled)
+        return len(self._heap) - self._cancelled_in_heap
+
+    # -- cancelled-event bookkeeping ------------------------------------------
+
+    def _note_cancelled(self) -> None:
+        self._cancelled_in_heap += 1
+        if self._cancelled_in_heap * 2 > len(self._heap):
+            self._compact()
+
+    def _compact(self) -> None:
+        """Drop cancelled events and re-heapify (amortised O(1) per cancel)."""
+        for event in self._heap:
+            if event.cancelled:
+                event._in_heap = False
+        self._heap = [event for event in self._heap if not event.cancelled]
+        heapq.heapify(self._heap)
+        self._cancelled_in_heap = 0
 
     # -- scheduling ----------------------------------------------------------
 
@@ -93,7 +132,8 @@ class EventScheduler:
             raise SchedulerError(
                 f"cannot schedule {name!r} at {time:g}s; clock is at {self._now:g}s"
             )
-        event = ScheduledEvent(time, next(self._seq), action, name)
+        event = ScheduledEvent(time, next(self._seq), action, name, scheduler=self)
+        event._in_heap = True
         heapq.heappush(self._heap, event)
         return event
 
@@ -136,7 +176,9 @@ class EventScheduler:
         """Run the next pending event; False when the list is empty."""
         while self._heap:
             event = heapq.heappop(self._heap)
+            event._in_heap = False
             if event.cancelled:
+                self._cancelled_in_heap -= 1
                 continue
             self._now = event.time
             self.processed += 1
@@ -157,6 +199,8 @@ class EventScheduler:
             head = self._heap[0]
             if head.cancelled:
                 heapq.heappop(self._heap)
+                head._in_heap = False
+                self._cancelled_in_heap -= 1
                 continue
             if head.time > end_time:
                 break

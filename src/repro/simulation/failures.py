@@ -26,7 +26,7 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass
-from typing import List, Optional, Set, Tuple
+from typing import List, Optional, Sequence, Set, Tuple
 
 from repro.middleware.session import SessionManager
 from repro.topology.overlay import OverlayNetwork
@@ -93,30 +93,66 @@ class FailureInjector:
         now: float = 0.0,
     ) -> FailureEvent:
         """Crash one node immediately."""
-        node = self.network.node(node_id)
-        if not node.alive:
-            raise ValueError(f"node v{node_id} is already down")
-        killed = 0
-        if sessions is not None:
-            killed = sessions.terminate_sessions_using_node(node_id)
-        node.fail()
-        self._down.add(node_id)
-        self.router.set_down_nodes(self._down)
-        self.sessions_killed += killed
-        event = FailureEvent(now, node_id, "crash", killed)
-        self._events.append(event)
-        return event
+        return self.crash_many([node_id], sessions=sessions, now=now)[0]
 
     def recover(self, node_id: int, now: float = 0.0) -> FailureEvent:
         """Recover one crashed node immediately."""
-        if node_id not in self._down:
-            raise ValueError(f"node v{node_id} is not down")
-        self.network.node(node_id).recover()
-        self._down.discard(node_id)
-        self.router.set_down_nodes(self._down)
-        event = FailureEvent(now, node_id, "recover")
-        self._events.append(event)
-        return event
+        return self.recover_many([node_id], now=now)[0]
+
+    def crash_many(
+        self,
+        node_ids: Sequence[int],
+        sessions: Optional[SessionManager] = None,
+        now: float = 0.0,
+    ) -> List[FailureEvent]:
+        """Crash a batch of co-temporal nodes with one routing update.
+
+        The whole batch is validated before any node is touched, and the
+        router sees a single ``set_down_nodes`` call — correlated failures
+        (a rack, a site) cost one incremental routing update, not one per
+        node.
+        """
+        unique = set(node_ids)
+        if len(unique) != len(node_ids):
+            raise ValueError("duplicate node ids in crash batch")
+        for node_id in node_ids:
+            if not self.network.node(node_id).alive:
+                raise ValueError(f"node v{node_id} is already down")
+        events: List[FailureEvent] = []
+        for node_id in node_ids:
+            killed = 0
+            if sessions is not None:
+                killed = sessions.terminate_sessions_using_node(node_id)
+            self.network.node(node_id).fail()
+            self._down.add(node_id)
+            self.sessions_killed += killed
+            events.append(FailureEvent(now, node_id, "crash", killed))
+        if events:
+            self.router.set_down_nodes(self._down)
+        self._events.extend(events)
+        return events
+
+    def recover_many(
+        self, node_ids: Sequence[int], now: float = 0.0
+    ) -> List[FailureEvent]:
+        """Recover a batch of crashed nodes with one routing update."""
+        unique = set(node_ids)
+        if len(unique) != len(node_ids):
+            raise ValueError("duplicate node ids in recovery batch")
+        missing = unique - self._down
+        if missing:
+            raise ValueError(
+                f"nodes not down: {sorted(missing)}"
+            )
+        events: List[FailureEvent] = []
+        for node_id in node_ids:
+            self.network.node(node_id).recover()
+            self._down.discard(node_id)
+            events.append(FailureEvent(now, node_id, "recover"))
+        if events:
+            self.router.set_down_nodes(self._down)
+        self._events.extend(events)
+        return events
 
     # -- the stochastic round ----------------------------------------------------
 

@@ -56,6 +56,10 @@ class SystemConfig:
     aggregation_period_s: float = 600.0
     aggregation_policy: RotationPolicy = RotationPolicy.ROUND_ROBIN
     transient_timeout_s: float = 10.0
+    #: lazy per-source routing with dirty-set invalidation under churn;
+    #: False restores the eager all-pairs re-solve baseline (the macro
+    #: churn benchmark measures the ratio between the two)
+    incremental_routing: bool = True
     seed: int = 0
 
     def with_seed(self, seed: int) -> "SystemConfig":
@@ -142,7 +146,7 @@ def build_system(config: SystemConfig) -> StreamSystem:
         bandwidth_range_kbps=config.overlay_bandwidth_kbps,
         rng=random.Random(config.seed * 7 + 3),
     )
-    overlay_router = OverlayRouter(network)
+    overlay_router = OverlayRouter(network, incremental=config.incremental_routing)
     registry = ComponentDeployer(catalog, profile=config.deployment).deploy(
         network, rng=random.Random(config.seed * 7 + 4)
     )

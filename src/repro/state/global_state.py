@@ -31,6 +31,8 @@ from __future__ import annotations
 
 from typing import Dict, Iterable, Optional
 
+import numpy as np
+
 from repro.model.node import Node
 from repro.model.resources import ResourceVector
 from repro.topology.overlay import OverlayLink, OverlayNetwork
@@ -74,7 +76,13 @@ class GlobalStateManager:
         self.link_version = 0
 
         self._node_snapshots: Dict[int, ResourceVector] = {}
-        self._link_snapshots: Dict[int, float] = {}
+        # link snapshots live in a dense array (link ids are dense 0..m-1)
+        # so bulk consumers — the per-source bottleneck-bandwidth rows of
+        # repro.core.fastscore — read the whole coarse-grain link state in
+        # one vectorised gather
+        self._link_snapshots = np.zeros(len(network.links))
+        self._link_snapshot_view = self._link_snapshots.view()
+        self._link_snapshot_view.setflags(write=False)
         # raw values at the last report: the threshold compares against
         # these, not the (possibly quantized) published snapshots, so value
         # quantization cannot re-trigger updates by itself
@@ -168,7 +176,14 @@ class GlobalStateManager:
 
     def link_available_kbps(self, link_id: int) -> float:
         """Coarse-grain available bandwidth of one overlay link."""
-        return self._link_snapshots[link_id]
+        return float(self._link_snapshots[link_id])
+
+    @property
+    def link_available_array(self) -> np.ndarray:
+        """Coarse-grain available bandwidth of every overlay link, indexed
+        by link id (a read-only view; snapshot refreshes show through).
+        Bulk consumers pair it with :attr:`link_version`."""
+        return self._link_snapshot_view
 
     def virtual_link_available_kbps(self, overlay_link_ids: Iterable[int]) -> float:
         """Coarse-grain bottleneck bandwidth of a virtual link.
@@ -179,7 +194,7 @@ class GlobalStateManager:
         """
         available = float("inf")
         for link_id in overlay_link_ids:
-            available = min(available, self._link_snapshots[link_id])
+            available = min(available, float(self._link_snapshots[link_id]))
         return available
 
     @property

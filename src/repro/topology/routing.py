@@ -6,19 +6,47 @@ the virtual link is the aggregation of QoS values among its constituent
 overlay links; the bandwidth availability ba_li is the bottleneck bandwidth
 among the overlay links."
 
-:class:`OverlayRouter` computes delay-based shortest paths over the overlay
-mesh once (scipy Dijkstra with predecessors), then answers virtual-link
-queries: the overlay-link path between any node pair, its static QoS
-(delay sums, loss composes), and its *current* bottleneck bandwidth (always
-read live from the links, since bandwidth is the dynamic quantity).
+:class:`OverlayRouter` answers virtual-link queries — the overlay-link path
+between any node pair, its static QoS (delay sums, loss composes), and its
+*current* bottleneck bandwidth — from **lazy per-source shortest-path
+trees**.  A single-source scipy Dijkstra runs the first time a source is
+queried and is cached; churn (:meth:`set_down_nodes`) invalidates only the
+trees the event can actually affect:
+
+* a **crash** of node ``d`` drops only the trees that route *through* ``d``
+  (``d`` appears in the tree's relay set).  Trees where ``d`` is a leaf are
+  patched in place — the entry *for* ``d`` becomes unreachable, every other
+  distance, path, loss and bandwidth answer provably cannot change;
+* a **recovery** of node ``r`` can create new shortcuts, so it drops the
+  trees whose reachable set touches ``r`` or any of its neighbours (any new
+  path must enter ``r`` through a previously-reachable neighbour) — and
+  nothing else, which matters when crashes have partitioned the mesh.
+
+Each tree carries a **row version** (the topology epoch it was solved at);
+derived caches (``repro.core.fastscore``) key per-source state on
+:meth:`row_version` so a churn event rebuilds only the affected columns.
+In-place leaf patches deliberately do *not* bump the version: they only
+flip entries for down destinations, which every consumer already masks via
+node liveness.  ``epoch`` remains the global topology counter (bumped once
+per :meth:`set_down_nodes` change).
+
+``incremental=False`` restores the eager baseline — one all-pairs solve
+plus a wholesale cache flush per churn event — kept reachable so the macro
+churn benchmark (``make bench-macro``) can measure the ratio.
 
 Co-located pairs (a == b) yield the empty path with zero QoS — footnote 4's
 "0 network delay" and footnote 8's infinite residual bandwidth.
+
+With distinct path costs the incrementally maintained state is identical
+to a freshly constructed router's (``tests/test_routing_incremental.py``
+checks this differentially under randomized churn); on exact cost ties a
+surviving tree may break the tie differently than a fresh solve would —
+both choices are optimal.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Tuple
+from typing import Dict, Optional, Tuple
 
 import numpy as np
 from scipy.sparse import csr_matrix
@@ -26,25 +54,74 @@ from scipy.sparse.csgraph import dijkstra
 
 from repro.model.component_graph import VirtualLinkPath
 from repro.model.qos import MetricKind, QoSVector, combine_all
-from repro.topology.overlay import OverlayNetwork
+from repro.topology.overlay import OverlayLink, OverlayNetwork
 
 
 class RoutingError(RuntimeError):
     """Raised when no overlay path exists between two nodes."""
 
 
+class _SourceTree:
+    """One source's shortest-path tree plus lazily-built per-row arrays.
+
+    ``distances``/``loss_row`` are exposed to callers read-only; the
+    router unfreezes them only for leaf-crash patches it owns.
+    """
+
+    __slots__ = (
+        "source",
+        "version",
+        "distances",
+        "predecessors",
+        "finite",
+        "relay",
+        "order",
+        "uplink",
+        "loss_row",
+    )
+
+    def __init__(
+        self,
+        source: int,
+        version: int,
+        distances: np.ndarray,
+        predecessors: np.ndarray,
+    ):
+        self.source = source
+        self.version = version
+        self.distances = distances
+        self.predecessors = predecessors
+        self.finite = np.isfinite(distances)
+        # relay nodes: every node that forwards to at least one child in
+        # the tree.  A crash outside this set (a leaf) cannot change any
+        # distance except the crashed node's own entry.
+        relay = np.zeros(len(distances), dtype=bool)
+        used = predecessors[self.finite]
+        used = used[used >= 0]
+        relay[used] = True
+        self.relay = relay
+        #: reachable destinations in nondecreasing distance order
+        self.order: Optional[np.ndarray] = None
+        #: per destination, the link id of the tree edge arriving at it
+        #: (-1 at the source and at unreachable/patched destinations)
+        self.uplink: Optional[np.ndarray] = None
+        self.loss_row: Optional[np.ndarray] = None
+        distances.setflags(write=False)
+
+
 class OverlayRouter:
     """Delay-based shortest-path routing over an overlay mesh."""
 
-    def __init__(self, network: OverlayNetwork):
+    def __init__(self, network: OverlayNetwork, incremental: bool = True):
         self.network = network
+        self._incremental = incremental
         self._down_nodes: frozenset = frozenset()
-        self._path_cache: Dict[Tuple[int, int], Tuple[int, ...]] = {}
-        self._qos_cache: Dict[Tuple[int, int], QoSVector] = {}
-        self._row_cache: Dict[int, Tuple[np.ndarray, np.ndarray]] = {}
-        #: monotone topology epoch, bumped by every :meth:`_solve`; derived
-        #: caches (``repro.core.fastscore``) key on it
+        #: monotone topology epoch, bumped once per down-set change; per
+        #: source, :meth:`row_version` is the finer-grained cache key
         self.epoch = 0
+        self._trees: Dict[int, _SourceTree] = {}
+        self._path_cache: Dict[int, Dict[int, Tuple[int, ...]]] = {}
+        self._qos_cache: Dict[int, Dict[int, QoSVector]] = {}
         schema = (
             network.links[0].qos.schema
             if network.links
@@ -58,33 +135,154 @@ class OverlayRouter:
             MetricKind.ADDITIVE,
             MetricKind.MULTIPLICATIVE_LOSS,
         )
-        self._solve()
+        self._loss_index = next(
+            (
+                index
+                for index, kind in enumerate(schema.kinds)
+                if kind is MetricKind.MULTIPLICATIVE_LOSS
+            ),
+            None,
+        )
 
-    def _solve(self) -> None:
-        """(Re)compute all-pairs shortest paths, skipping down nodes.
+        links = network.links
+        count = len(links)
+        self._link_a = np.fromiter(
+            (link.node_a for link in links), dtype=np.int64, count=count
+        )
+        self._link_b = np.fromiter(
+            (link.node_b for link in links), dtype=np.int64, count=count
+        )
+        self._link_delay = np.fromiter(
+            (link.delay_ms for link in links), dtype=np.float64, count=count
+        )
+        # live residual bandwidth, maintained O(1) per allocation so the
+        # bottleneck queries never re-read every link object
+        self._link_available = np.fromiter(
+            (link.available_kbps for link in links), dtype=np.float64, count=count
+        )
+        for link in links:
+            link.add_change_listener(self._on_link_bandwidth)
 
-        Links adjacent to a down node are removed from the routing graph —
-        a crashed node cannot relay overlay traffic.
+        self._all_distances: Optional[np.ndarray] = None
+        self._all_predecessors: Optional[np.ndarray] = None
+        self._build_matrix()
+        if not self._incremental:
+            self._solve_all()
+
+    # -- substrate -------------------------------------------------------------
+
+    def _on_link_bandwidth(self, link: OverlayLink) -> None:
+        self._link_available[link.link_id] = link.available_kbps
+
+    def _build_matrix(self) -> None:
+        """CSR routing graph for the current down set.
+
+        Links adjacent to a down node are removed — a crashed node cannot
+        relay overlay traffic.
         """
-        network = self.network
-        n = len(network)
-        rows, cols, delays = [], [], []
-        for link in network.links:
-            if link.node_a in self._down_nodes or link.node_b in self._down_nodes:
-                continue
-            rows.extend((link.node_a, link.node_b))
-            cols.extend((link.node_b, link.node_a))
-            delays.extend((link.delay_ms, link.delay_ms))
-        matrix = csr_matrix(
-            (np.asarray(delays), (np.asarray(rows), np.asarray(cols))), shape=(n, n)
+        n = len(self.network)
+        if self._down_nodes:
+            down = np.fromiter(
+                self._down_nodes, dtype=np.int64, count=len(self._down_nodes)
+            )
+            keep = ~(np.isin(self._link_a, down) | np.isin(self._link_b, down))
+            link_a = self._link_a[keep]
+            link_b = self._link_b[keep]
+            delays = self._link_delay[keep]
+        else:
+            link_a, link_b, delays = self._link_a, self._link_b, self._link_delay
+        self._matrix = csr_matrix(
+            (
+                np.concatenate((delays, delays)),
+                (
+                    np.concatenate((link_a, link_b)),
+                    np.concatenate((link_b, link_a)),
+                ),
+            ),
+            shape=(n, n),
         )
-        self._distances, self._predecessors = dijkstra(
-            matrix, directed=False, return_predecessors=True
+
+    def _solve_all(self) -> None:
+        """Eager baseline: all-pairs solve + wholesale cache flush."""
+        self._all_distances, self._all_predecessors = dijkstra(
+            self._matrix, directed=False, return_predecessors=True
         )
+        self._trees.clear()
         self._path_cache.clear()
         self._qos_cache.clear()
-        self._row_cache.clear()
-        self.epoch += 1
+
+    def _tree(self, source: int) -> _SourceTree:
+        tree = self._trees.get(source)
+        if tree is None:
+            if self._incremental:
+                distances, predecessors = dijkstra(
+                    self._matrix,
+                    directed=False,
+                    indices=source,
+                    return_predecessors=True,
+                )
+            else:
+                distances = self._all_distances[source]
+                predecessors = self._all_predecessors[source]
+            tree = _SourceTree(source, self.epoch, distances, predecessors)
+            self._trees[source] = tree
+        return tree
+
+    def _annotated(self, source: int) -> _SourceTree:
+        """The tree plus its order/uplink/loss arrays (one O(N) pass)."""
+        tree = self._tree(source)
+        if tree.order is not None:
+            return tree
+        network = self.network
+        distances = tree.distances
+        n = len(network)
+        loss_row = np.zeros(n)
+        uplink = np.full(n, -1, dtype=np.int64)
+        order = []
+        loss_index = self._loss_index
+        for destination in np.argsort(distances, kind="stable"):
+            destination = int(destination)
+            if destination == tree.source:
+                continue
+            if not np.isfinite(distances[destination]):
+                break  # infinities sort last: the rest are unreachable too
+            previous = int(tree.predecessors[destination])
+            link = network.link_between(previous, destination)
+            if link is None:  # pragma: no cover - predecessor matrix guarantees it
+                raise RoutingError(
+                    f"routing inconsistency between v{previous} and v{destination}"
+                )
+            link_loss = link.qos.values[loss_index] if loss_index is not None else 0.0
+            loss_row[destination] = 1.0 - (1.0 - loss_row[previous]) * (
+                1.0 - link_loss
+            )
+            uplink[destination] = link.link_id
+            order.append(destination)
+        tree.order = np.asarray(order, dtype=np.int64)
+        tree.uplink = uplink
+        loss_row.setflags(write=False)
+        tree.loss_row = loss_row
+        return tree
+
+    def _patch_unreachable(self, tree: _SourceTree, node_id: int) -> None:
+        """Mark a crashed leaf destination unreachable without a re-solve.
+
+        Only the entry *for* the leaf changes — it has no children, so no
+        other distance, path, or loss figure depends on it.  The tree's
+        row version is intentionally kept: consumers mask down nodes via
+        liveness, so their cached derivations stay valid.
+        """
+        distances = tree.distances
+        distances.setflags(write=True)
+        distances[node_id] = np.inf
+        distances.setflags(write=False)
+        tree.finite[node_id] = False
+        if tree.loss_row is not None:
+            tree.uplink[node_id] = -1
+            loss_row = tree.loss_row
+            loss_row.setflags(write=True)
+            loss_row[node_id] = 0.0
+            loss_row.setflags(write=False)
 
     # -- liveness (failure injection) -----------------------------------------
 
@@ -95,22 +293,80 @@ class OverlayRouter:
     def set_down_nodes(self, node_ids) -> None:
         """Declare the set of crashed nodes and re-route around them.
 
-        Recomputes the all-pairs matrices (O(N·E log N)); callers batch
-        failure/recovery events per round rather than per node.
+        Incremental mode invalidates only the per-source trees the change
+        can affect (O(affected · N) plus lazy re-solves on demand); the
+        eager baseline recomputes the all-pairs matrices (O(N·E log N))
+        and flushes every cache.  Callers batch co-temporal failure and
+        recovery events into one call (see
+        :meth:`repro.simulation.failures.FailureInjector.crash_many`).
         """
         down = frozenset(node_ids)
-        if down != self._down_nodes:
-            self._down_nodes = down
-            self._solve()
+        if down == self._down_nodes:
+            return
+        newly_down = down - self._down_nodes
+        newly_up = self._down_nodes - down
+        self._down_nodes = down
+        self.epoch += 1
+        self._build_matrix()
+        if not self._incremental:
+            self._solve_all()
+            return
+
+        changed_roots = newly_down | newly_up
+        crashed = (
+            np.fromiter(newly_down, dtype=np.int64, count=len(newly_down))
+            if newly_down
+            else None
+        )
+        # any new path via a recovered node enters it through one of its
+        # neighbours, which must already be reachable from the source
+        probe = set(newly_up)
+        for node_id in newly_up:
+            probe.update(self.network.neighbors(node_id))
+        recovered_probe = (
+            np.fromiter(probe, dtype=np.int64, count=len(probe)) if probe else None
+        )
+
+        for source in list(self._trees):
+            tree = self._trees[source]
+            if (
+                source in changed_roots
+                or (crashed is not None and bool(tree.relay[crashed].any()))
+                or (
+                    recovered_probe is not None
+                    and bool(tree.finite[recovered_probe].any())
+                )
+            ):
+                del self._trees[source]
+                self._path_cache.pop(source, None)
+                self._qos_cache.pop(source, None)
+            elif crashed is not None:
+                paths = self._path_cache.get(source)
+                qos = self._qos_cache.get(source)
+                for node_id in newly_down:
+                    if tree.finite[node_id]:
+                        self._patch_unreachable(tree, node_id)
+                    if paths is not None:
+                        paths.pop(node_id, None)
+                    if qos is not None:
+                        qos.pop(node_id, None)
+
+    def row_version(self, source: int) -> int:
+        """Version of ``source``'s routing rows (the topology epoch its
+        tree was solved at).  Consumers key per-source caches on this so
+        churn rebuilds only the affected columns; entries for down
+        destinations may be patched without a bump and must be masked via
+        node liveness."""
+        return self._tree(source).version
 
     # -- paths -------------------------------------------------------------
 
     def delay(self, node_a: int, node_b: int) -> float:
         """Shortest overlay path delay in ms (0 for a == b)."""
-        return float(self._distances[node_a, node_b])
+        return float(self._tree(node_a).distances[node_b])
 
     def reachable(self, node_a: int, node_b: int) -> bool:
-        return np.isfinite(self._distances[node_a, node_b])
+        return bool(self._tree(node_a).finite[node_b])
 
     def overlay_path(self, node_a: int, node_b: int) -> Tuple[int, ...]:
         """Overlay link ids along the delay-shortest path (empty if a == b).
@@ -120,25 +376,24 @@ class OverlayRouter:
         """
         if node_a == node_b:
             return ()
-        key = (node_a, node_b)
-        cached = self._path_cache.get(key)
+        cache = self._path_cache.get(node_a)
+        if cache is None:
+            cache = self._path_cache.setdefault(node_a, {})
+        cached = cache.get(node_b)
         if cached is not None:
             return cached
-        if not self.reachable(node_a, node_b):
+        tree = self._annotated(node_a)
+        if not tree.finite[node_b]:
             raise RoutingError(f"no overlay path v{node_a} -> v{node_b}")
         link_ids = []
         current = node_b
+        uplink = tree.uplink
+        predecessors = tree.predecessors
         while current != node_a:
-            previous = int(self._predecessors[node_a, current])
-            link = self.network.link_between(previous, current)
-            if link is None:  # pragma: no cover - predecessor matrix guarantees it
-                raise RoutingError(
-                    f"routing inconsistency between v{previous} and v{current}"
-                )
-            link_ids.append(link.link_id)
-            current = previous
+            link_ids.append(int(uplink[current]))
+            current = int(predecessors[current])
         path = tuple(reversed(link_ids))
-        self._path_cache[key] = path
+        cache[node_b] = path
         return path
 
     # -- virtual links -------------------------------------------------------
@@ -154,8 +409,10 @@ class OverlayRouter:
         """
         if node_a == node_b:
             return self._zero_qos
-        key = (node_a, node_b)
-        cached = self._qos_cache.get(key)
+        cache = self._qos_cache.get(node_a)
+        if cache is None:
+            cache = self._qos_cache.setdefault(node_a, {})
+        cached = cache.get(node_b)
         if cached is None:
             if self._rows_represent_qos:
                 if not self.reachable(node_a, node_b):
@@ -171,54 +428,25 @@ class OverlayRouter:
                     (self.network.link(link_id).qos for link_id in path),
                     self._zero_qos.schema,
                 )
-            self._qos_cache[key] = cached
+            cache[node_b] = cached
         return cached
 
     def virtual_link_rows(self, source: int) -> Tuple[np.ndarray, np.ndarray]:
         """Virtual-link QoS from ``source`` to *every* node, as arrays.
 
-        Returns ``(delay_row, loss_row)``: per destination the delay sum and
-        the composed loss rate along the delay-shortest path.  Unreachable
-        destinations have infinite delay (loss is left at 0 there; callers
-        must mask on reachability).  Rows are cached per topology epoch —
-        the loss accumulation walks the shortest-path tree in distance
-        order, applying the same raw-space composition
-        ``1 − (1 − a)(1 − b)`` per tree edge that :meth:`virtual_link_qos`
-        folds along the path, so both views agree.
+        Returns ``(delay_row, loss_row)``: per destination the delay sum
+        and the composed loss rate along the delay-shortest path.
+        Unreachable destinations — including crashed ones — have infinite
+        delay (loss is left at 0 there; callers must mask on reachability
+        or liveness).  Both arrays are **read-only views** of router state,
+        valid until :meth:`row_version` moves for this source; the loss
+        accumulation walks the shortest-path tree in distance order,
+        applying the same raw-space composition ``1 − (1 − a)(1 − b)`` per
+        tree edge that :meth:`virtual_link_qos` folds along the path, so
+        both views agree.
         """
-        cached = self._row_cache.get(source)
-        if cached is not None:
-            return cached
-        distances = self._distances[source]
-        predecessors = self._predecessors[source]
-        loss_row = np.zeros(len(self.network))
-        loss_index = next(
-            (
-                index
-                for index, kind in enumerate(self._zero_qos.schema.kinds)
-                if kind is MetricKind.MULTIPLICATIVE_LOSS
-            ),
-            None,
-        )
-        for destination in np.argsort(distances, kind="stable"):
-            destination = int(destination)
-            if destination == source:
-                continue
-            if not np.isfinite(distances[destination]):
-                break  # infinities sort last: the rest are unreachable too
-            previous = int(predecessors[destination])
-            link = self.network.link_between(previous, destination)
-            if link is None:  # pragma: no cover - predecessor matrix guarantees it
-                raise RoutingError(
-                    f"routing inconsistency between v{previous} and v{destination}"
-                )
-            link_loss = link.qos.values[loss_index] if loss_index is not None else 0.0
-            loss_row[destination] = 1.0 - (1.0 - loss_row[previous]) * (
-                1.0 - link_loss
-            )
-        rows = (distances, loss_row)
-        self._row_cache[source] = rows
-        return rows
+        tree = self._annotated(source)
+        return tree.distances, tree.loss_row
 
     def virtual_link(self, node_a: int, node_b: int) -> VirtualLinkPath:
         """The virtual link between two (possibly identical) nodes."""
@@ -230,8 +458,57 @@ class OverlayRouter:
             qos=self.virtual_link_qos(node_a, node_b),
         )
 
+    def bottleneck_bandwidth_row(
+        self, source: int, link_available_kbps: Optional[np.ndarray] = None
+    ) -> np.ndarray:
+        """Bottleneck bandwidth from ``source`` to *every* node, as an array.
+
+        One pass down the shortest-path tree replaces a per-destination
+        path walk; ``link_available_kbps`` substitutes a coarse-grain
+        per-link view (``GlobalStateManager.link_available_array``) for the
+        live residuals.  Entries are ``-inf`` for unreachable destinations
+        and ``+inf`` at the source (footnote 8's co-located case).  The
+        result is freshly computed — callers cache it keyed on
+        (:meth:`row_version`, their link-state version).
+        """
+        tree = self._annotated(source)
+        values = (
+            self._link_available
+            if link_available_kbps is None
+            else link_available_kbps
+        )
+        row = np.full(len(self.network), -np.inf)
+        row[source] = np.inf
+        uplink = tree.uplink
+        predecessors = tree.predecessors
+        for destination in tree.order.tolist():
+            link_id = uplink[destination]
+            if link_id < 0:  # patched (crashed) leaf
+                continue
+            upstream = row[predecessors[destination]]
+            value = values[link_id]
+            row[destination] = value if value < upstream else upstream
+        return row
+
     def available_bandwidth(self, node_a: int, node_b: int) -> float:
-        """Current bottleneck bandwidth of the virtual link (live values)."""
+        """Current bottleneck bandwidth of the virtual link (live values).
+
+        Walks the tree's uplink arrays directly — no path materialisation
+        per query.
+        """
         if node_a == node_b:
             return float("inf")
-        return self.network.path_available_bw(self.overlay_path(node_a, node_b))
+        tree = self._annotated(node_a)
+        if not tree.finite[node_b]:
+            raise RoutingError(f"no overlay path v{node_a} -> v{node_b}")
+        available = np.inf
+        values = self._link_available
+        uplink = tree.uplink
+        predecessors = tree.predecessors
+        current = node_b
+        while current != node_a:
+            value = values[uplink[current]]
+            if value < available:
+                available = value
+            current = int(predecessors[current])
+        return float(available)

@@ -155,3 +155,66 @@ class TestRun:
 
     def test_step_on_empty_returns_false(self, scheduler):
         assert scheduler.step() is False
+
+
+class TestHeapCompaction:
+    """Cancelled events must not accumulate: the heap is compacted once
+    they outnumber live ones, so it never exceeds twice the live count."""
+
+    def test_len_matches_live_events(self, scheduler):
+        events = [scheduler.schedule_at(float(i + 1), lambda: None) for i in range(10)]
+        for event in events[:4]:
+            event.cancel()
+        assert len(scheduler) == 6
+
+    def test_mass_cancel_bounds_heap(self, scheduler):
+        events = [
+            scheduler.schedule_at(float(i + 1), lambda: None) for i in range(1000)
+        ]
+        for event in events[:900]:
+            event.cancel()
+        assert len(scheduler) == 100
+        assert len(scheduler._heap) <= 2 * len(scheduler)
+
+    def test_schedule_cancel_churn_keeps_heap_empty(self, scheduler):
+        """The periodic-task churn pattern: schedule, cancel, reschedule.
+        Before compaction this grew the heap without bound."""
+        for i in range(10_000):
+            scheduler.schedule_at(float(i + 1), lambda: None).cancel()
+        assert len(scheduler) == 0
+        assert len(scheduler._heap) <= 1
+
+    def test_double_cancel_counts_once(self, scheduler):
+        event = scheduler.schedule_at(1.0, lambda: None)
+        scheduler.schedule_at(2.0, lambda: None)
+        event.cancel()
+        event.cancel()
+        assert len(scheduler) == 1
+
+    def test_cancel_after_firing_does_not_skew_len(self, scheduler):
+        event = scheduler.schedule_at(1.0, lambda: None)
+        scheduler.schedule_at(2.0, lambda: None)
+        scheduler.run(max_events=1)
+        event.cancel()  # fired already: must not decrement live count
+        assert len(scheduler) == 1
+        assert scheduler.run() == 1
+
+    def test_compaction_preserves_firing_order(self, scheduler):
+        fired = []
+        events = [
+            scheduler.schedule_at(float(i + 1), lambda i=i: fired.append(i))
+            for i in range(20)
+        ]
+        for i in range(0, 20, 2):
+            events[i].cancel()
+        scheduler.run()
+        assert fired == list(range(1, 20, 2))
+
+    def test_run_until_with_cancelled_head(self, scheduler):
+        fired = []
+        head = scheduler.schedule_at(1.0, lambda: fired.append("cancelled"))
+        scheduler.schedule_at(2.0, lambda: fired.append("kept"))
+        head.cancel()
+        scheduler.run_until(5.0)
+        assert fired == ["kept"]
+        assert len(scheduler) == 0

@@ -207,3 +207,98 @@ class TestFailureInjector:
             assert all(abs(v) < 1e-6 for v in node.allocated.values)
         for link in system.network.links:
             assert abs(link.allocated_kbps) < 1e-6
+
+
+class TestBatchedChurn:
+    """Co-temporal crashes/recoveries must cost one routing update."""
+
+    @pytest.fixture
+    def harness(self):
+        system = build_small_system(seed=4, num_nodes=12)
+        injector = FailureInjector(
+            system.network, system.router, rng=random.Random(2)
+        )
+        return system, injector
+
+    def test_crash_many_issues_one_routing_update(self, harness):
+        system, injector = harness
+        before = system.router.epoch
+        events = injector.crash_many([2, 5, 7], now=1.0)
+        assert [e.node_id for e in events] == [2, 5, 7]
+        assert all(e.kind == "crash" for e in events)
+        assert system.router.epoch == before + 1
+        assert injector.down_nodes == frozenset({2, 5, 7})
+        assert all(not system.network.node(n).alive for n in (2, 5, 7))
+
+    def test_recover_many_issues_one_routing_update(self, harness):
+        system, injector = harness
+        injector.crash_many([2, 5, 7])
+        before = system.router.epoch
+        events = injector.recover_many([5, 7], now=2.0)
+        assert [e.node_id for e in events] == [5, 7]
+        assert system.router.epoch == before + 1
+        assert injector.down_nodes == frozenset({2})
+        assert system.network.node(5).alive and system.network.node(7).alive
+
+    def test_crash_batch_validated_before_any_mutation(self, harness):
+        system, injector = harness
+        injector.crash(2)
+        before = system.router.epoch
+        with pytest.raises(ValueError, match="already down"):
+            injector.crash_many([3, 2])
+        assert system.network.node(3).alive
+        assert injector.down_nodes == frozenset({2})
+        assert system.router.epoch == before
+
+    def test_duplicate_ids_rejected(self, harness):
+        _system, injector = harness
+        with pytest.raises(ValueError, match="duplicate"):
+            injector.crash_many([3, 3])
+        injector.crash(3)
+        with pytest.raises(ValueError, match="duplicate"):
+            injector.recover_many([3, 3])
+
+    def test_recover_batch_validated_before_any_mutation(self, harness):
+        system, injector = harness
+        injector.crash(2)
+        before = system.router.epoch
+        with pytest.raises(ValueError, match="not down"):
+            injector.recover_many([2, 4])
+        assert injector.down_nodes == frozenset({2})
+        assert system.router.epoch == before
+
+    def test_stochastic_round_issues_one_routing_update(self):
+        system = build_small_system(seed=5, num_nodes=12)
+        injector = FailureInjector(
+            system.network,
+            system.router,
+            fail_probability=1.0,
+            recover_probability=0.5,
+            max_concurrent_failures=3,
+            rng=random.Random(3),
+        )
+        before = system.router.epoch
+        events = injector.run_round(now=0.0)
+        assert len(events) == 3
+        assert system.router.epoch == before + 1
+        # a mixed round (recoveries + crashes) is still one update
+        before = system.router.epoch
+        injector.run_round(now=60.0)
+        assert system.router.epoch <= before + 1
+
+    def test_crash_many_kills_sessions(self):
+        system = build_small_system(seed=4, num_nodes=12)
+        context = system.composition_context(rng=random.Random(1))
+        composer = ACPComposer(context, probing_ratio=1.0)
+        sessions = SessionManager(composer, system.allocator)
+        injector = FailureInjector(
+            system.network, system.router, rng=random.Random(2)
+        )
+        template = system.templates.sample(random.Random(3))
+        request = make_request(template.graph, delay_budget=500.0, loss_budget=0.4)
+        session_id, outcome = sessions.find(request)
+        assert session_id is not None
+        used = set(outcome.composition.node_ids())
+        events = injector.crash_many(sorted(used), sessions=sessions, now=5.0)
+        assert sum(e.sessions_killed for e in events) == 1
+        assert sessions.active_session_count == 0

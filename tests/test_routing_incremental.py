@@ -1,0 +1,203 @@
+"""Differential tests for incremental routing under churn.
+
+The tentpole claim of the incremental router is that dirty-set
+invalidation is *exact*: after any crash/recovery sequence, every answer
+an incrementally-maintained router gives — distances, loss rows, paths,
+QoS, bottleneck bandwidth, reachability — is identical to one computed by
+a router freshly constructed with the same down set, and to the eager
+all-pairs baseline (``incremental=False``).  Random meshes draw delays
+from a continuous distribution, so shortest paths are unique and the
+comparison can demand exact equality.
+"""
+
+import random
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.topology.routing import OverlayRouter, RoutingError
+from tests.test_routing_differential import random_mesh
+
+
+def random_churn_sequence(rng, num_nodes, steps):
+    """Randomised down-set trajectory: each step crashes and/or recovers."""
+    down = set()
+    sequence = []
+    for _ in range(steps):
+        up = [n for n in range(num_nodes) if n not in down]
+        crashes = rng.sample(up, k=min(len(up) - 1, rng.randrange(0, 3)))
+        recoveries = rng.sample(sorted(down), k=min(len(down), rng.randrange(0, 3)))
+        down |= set(crashes)
+        down -= set(recoveries)
+        sequence.append(frozenset(down))
+    return sequence
+
+
+def assert_routers_identical(incremental, fresh, network, down):
+    n = len(network)
+    for source in range(n):
+        if source in down:
+            continue
+        inc_delay, inc_loss = incremental.virtual_link_rows(source)
+        ref_delay, ref_loss = fresh.virtual_link_rows(source)
+        live = [d for d in range(n) if d not in down]
+        assert np.array_equal(inc_delay[live], ref_delay[live])
+        assert np.array_equal(inc_loss[live], ref_loss[live])
+        # crashed destinations must read unreachable either way
+        for d in down:
+            assert not np.isfinite(inc_delay[d])
+            assert not incremental.reachable(source, d)
+        inc_bw = incremental.bottleneck_bandwidth_row(source)
+        ref_bw = fresh.bottleneck_bandwidth_row(source)
+        assert np.array_equal(inc_bw[live], ref_bw[live])
+        for dest in live:
+            assert incremental.reachable(source, dest) == fresh.reachable(
+                source, dest
+            )
+            if not fresh.reachable(source, dest):
+                with pytest.raises(RoutingError):
+                    incremental.overlay_path(source, dest)
+                continue
+            assert incremental.overlay_path(source, dest) == fresh.overlay_path(
+                source, dest
+            )
+            assert incremental.virtual_link_qos(
+                source, dest
+            ) == fresh.virtual_link_qos(source, dest)
+            assert incremental.available_bandwidth(
+                source, dest
+            ) == fresh.available_bandwidth(source, dest)
+
+
+@given(st.integers(min_value=0, max_value=400))
+@settings(max_examples=20, deadline=None)
+def test_incremental_matches_fresh_router_under_churn(seed):
+    network = random_mesh(seed, num_nodes=12, extra_edges=8)
+    incremental = OverlayRouter(network, incremental=True)
+    eager = OverlayRouter(network, incremental=False)
+    rng = random.Random(seed * 31 + 7)
+    for down in random_churn_sequence(rng, len(network), steps=6):
+        # warm a few trees/caches *before* the event so invalidation — not
+        # cold recomputation — is what the comparison exercises
+        for source in rng.sample(range(len(network)), k=4):
+            if source in down:
+                continue
+            incremental.virtual_link_rows(source)
+            incremental.bottleneck_bandwidth_row(source)
+        incremental.set_down_nodes(down)
+        eager.set_down_nodes(down)
+        fresh = OverlayRouter(network, incremental=True)
+        fresh.set_down_nodes(down)
+        assert_routers_identical(incremental, fresh, network, down)
+        assert_routers_identical(eager, fresh, network, down)
+
+
+@given(st.integers(min_value=0, max_value=200))
+@settings(max_examples=10, deadline=None)
+def test_incremental_matches_under_bandwidth_churn(seed):
+    """Interleaved bandwidth allocations must show through the live
+    bottleneck queries regardless of tree invalidation."""
+    network = random_mesh(seed, num_nodes=10, extra_edges=6)
+    incremental = OverlayRouter(network, incremental=True)
+    rng = random.Random(seed + 99)
+    down = set()
+    for step in range(5):
+        for link in rng.sample(network.links, k=3):
+            link.allocate_bandwidth(rng.uniform(0.0, link.available_kbps))
+        victim = rng.randrange(len(network))
+        if victim in down:
+            down.discard(victim)
+        else:
+            down.add(victim)
+        incremental.set_down_nodes(down)
+        fresh = OverlayRouter(network, incremental=True)
+        fresh.set_down_nodes(down)
+        for a in range(len(network)):
+            for b in range(len(network)):
+                if a in down or b in down:
+                    continue
+                if fresh.reachable(a, b):
+                    assert incremental.available_bandwidth(
+                        a, b
+                    ) == fresh.available_bandwidth(a, b)
+
+
+class TestRowContracts:
+    def test_virtual_link_rows_are_read_only(self):
+        network = random_mesh(3)
+        router = OverlayRouter(network)
+        delay_row, loss_row = router.virtual_link_rows(0)
+        with pytest.raises(ValueError):
+            delay_row[1] = 0.0
+        with pytest.raises(ValueError):
+            loss_row[1] = 0.0
+
+    def test_leaf_crash_patches_without_version_bump(self):
+        """A crash that only prunes leaves keeps surviving trees' versions
+        (consumers' cached columns stay valid) while still reading the
+        crashed node as unreachable."""
+        network = random_mesh(7, num_nodes=12, extra_edges=8)
+        router = OverlayRouter(network)
+        # find a node that is a leaf in every warmed tree
+        for source in range(len(network)):
+            router.virtual_link_rows(source)
+        leaf = None
+        for candidate in range(1, len(network)):
+            if all(
+                not router._trees[s].relay[candidate]
+                for s in range(len(network))
+                if s != candidate
+            ):
+                leaf = candidate
+                break
+        if leaf is None:
+            pytest.skip("mesh has no universal leaf at this seed")
+        versions = {
+            s: router.row_version(s) for s in range(len(network)) if s != leaf
+        }
+        router.set_down_nodes({leaf})
+        for s, version in versions.items():
+            assert router.row_version(s) == version
+            assert not router.reachable(s, leaf)
+
+    def test_recovery_bumps_affected_versions(self):
+        network = random_mesh(11, num_nodes=10, extra_edges=6)
+        router = OverlayRouter(network)
+        for source in range(len(network)):
+            router.virtual_link_rows(source)
+        router.set_down_nodes({4})
+        router.set_down_nodes(set())  # recovery can create shortcuts
+        # every tree that could reach a neighbour of v4 must have re-solved
+        fresh = OverlayRouter(network)
+        for source in range(len(network)):
+            inc_delay, _ = router.virtual_link_rows(source)
+            ref_delay, _ = fresh.virtual_link_rows(source)
+            assert np.array_equal(inc_delay, ref_delay)
+
+    def test_bottleneck_row_against_path_walk(self):
+        network = random_mesh(5)
+        router = OverlayRouter(network)
+        rng = random.Random(5)
+        for link in rng.sample(network.links, k=5):
+            link.allocate_bandwidth(rng.uniform(0.0, link.available_kbps))
+        for source in (0, 3, 7):
+            row = router.bottleneck_bandwidth_row(source)
+            assert row[source] == np.inf
+            for dest in range(len(network)):
+                if dest == source:
+                    continue
+                path = router.overlay_path(source, dest)
+                expected = min(
+                    network.link(link_id).available_kbps for link_id in path
+                )
+                assert row[dest] == pytest.approx(expected)
+
+    def test_bottleneck_row_with_external_link_state(self):
+        network = random_mesh(6)
+        router = OverlayRouter(network)
+        stale = np.full(len(network.links), 123.0)
+        row = router.bottleneck_bandwidth_row(2, stale)
+        for dest in range(len(network)):
+            if dest != 2:
+                assert row[dest] == pytest.approx(123.0)
