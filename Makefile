@@ -3,7 +3,7 @@
 
 PYTEST := PYTHONPATH=src python -m pytest
 
-.PHONY: test bench bench-micro bench-macro
+.PHONY: test bench bench-micro bench-macro trace-demo
 
 test:
 	$(PYTEST) -x -q tests
@@ -11,10 +11,21 @@ test:
 # Statistical micro-benchmarks of the per-request hot operations.  Medians
 # land in benchmarks/results/BENCH_micro.json (operation -> seconds); the
 # vectorised-scoring speedup is test_acp_compose_latency_scalar divided by
-# test_acp_compose_latency.
+# test_acp_compose_latency.  The observability overhead guard rides along:
+# it proves the disabled-trace path costs <= 5% of a compose
+# (benchmarks/results/BENCH_observability.json).
 bench-micro:
-	$(PYTEST) -q benchmarks/test_micro_operations.py
+	$(PYTEST) -q benchmarks/test_micro_operations.py benchmarks/test_observability_overhead.py
 	@echo "medians: benchmarks/results/BENCH_micro.json"
+	@echo "overhead guard: benchmarks/results/BENCH_observability.json"
+
+# One traced adaptive simulation: exports a JSONL trace and renders its
+# summary (wavefront, tuner decisions, cache hit rates, phase timings).
+trace-demo:
+	PYTHONPATH=src python -m repro.cli trace --nodes 100 --rate 40 \
+		--adaptive --duration 900 \
+		--trace-out benchmarks/results/trace_demo.jsonl
+	PYTHONPATH=src python -m repro.cli trace-summary benchmarks/results/trace_demo.jsonl
 
 # Macro churn benchmark: one Fig. 8-style simulation (dynamic load +
 # stochastic failures) timed with eager vs incremental routing.  Timings

@@ -17,6 +17,7 @@ from __future__ import annotations
 
 import argparse
 import sys
+from dataclasses import replace
 from typing import List, Optional, Sequence
 
 from repro.experiments import (
@@ -33,6 +34,14 @@ from repro.experiments import (
     run_fig7,
     run_fig8,
     run_specs,
+)
+from repro.experiments.runner import build_simulator
+from repro.observability import (
+    TraceRecorder,
+    format_trace_summary,
+    read_trace,
+    summarize_trace,
+    write_jsonl,
 )
 
 SCALES = {"paper": PAPER_SCALE, "fast": FAST_SCALE}
@@ -108,6 +117,31 @@ def build_parser() -> argparse.ArgumentParser:
     compare = add_command("compare", "all algorithms at one workload point")
     compare.add_argument("--rate", type=float, default=60.0)
     compare.add_argument("--algorithms", default=",".join(ALGORITHMS))
+
+    trace = add_command("trace", "run one traced simulation, export JSONL")
+    trace.add_argument("--rate", type=float, default=60.0)
+    trace.add_argument(
+        "--adaptive", action="store_true",
+        help="attach the adaptive probing-ratio tuner (ACP)",
+    )
+    trace.add_argument("--target", type=float, default=0.75)
+    trace.add_argument(
+        "--duration", type=float, default=None,
+        help="simulated seconds (default: the scale's duration)",
+    )
+    trace.add_argument(
+        "--trace-out", default="trace.jsonl",
+        help="JSONL trace destination (default: trace.jsonl)",
+    )
+
+    summary = commands.add_parser(
+        "trace-summary", help="summarise a JSONL trace file"
+    )
+    summary.add_argument("trace_file", help="path to a trace JSONL file")
+    summary.add_argument(
+        "-o", "--output", default=None,
+        help="also write the rendered summary to this file",
+    )
     return parser
 
 
@@ -121,6 +155,10 @@ def _emit(text: str, output: Optional[str]) -> None:
 def main(argv: Optional[Sequence[str]] = None) -> int:
     """Entry point: parse, run the requested experiment, emit tables."""
     args = build_parser().parse_args(argv)
+    if args.command == "trace-summary":
+        summary = summarize_trace(read_trace(args.trace_file))
+        _emit(format_trace_summary(summary), args.output)
+        return 0
     scale = SCALES[args.scale]
 
     if args.command == "fig5a":
@@ -182,6 +220,26 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             workers=args.workers,
         )
         _emit(format_report_summary(reports), args.output)
+    elif args.command == "trace":
+        spec = default_spec(
+            scale=scale, num_nodes=args.nodes, rate_per_min=args.rate,
+            seed=args.seed,
+        )
+        if args.adaptive:
+            spec = replace(
+                spec, adaptive=True, target_success_rate=args.target
+            )
+        if args.duration is not None:
+            spec = replace(spec, duration_s=args.duration)
+        recorder = TraceRecorder()
+        simulator = build_simulator(spec, recorder=recorder)
+        simulator.run(spec.duration_s)
+        records = write_jsonl(args.trace_out, recorder)
+        print(f"wrote {records} records to {args.trace_out}")
+        _emit(
+            format_trace_summary(summarize_trace(read_trace(args.trace_out))),
+            args.output,
+        )
     return 0
 
 

@@ -31,6 +31,7 @@ from typing import Callable, Dict, Mapping, Optional, Tuple
 from repro.allocation.allocator import ResourceAllocator
 from repro.discovery.registry import ComponentRegistry
 from repro.model.component import Component
+from repro.observability import NULL_RECORDER, Recorder
 from repro.model.component_graph import ComponentGraph
 from repro.model.qos import QoSVector
 from repro.model.qos_model import LoadDependentQoSModel
@@ -58,6 +59,9 @@ class CompositionContext:
     local_state: LocalStateProvider
     rng: random.Random
     clock: Callable[[], float] = lambda: 0.0
+    #: observability sink shared by every composer on this context; the
+    #: null default keeps the hot path at one ``enabled`` check per site
+    recorder: Recorder = NULL_RECORDER
     #: how component QoS responds to host load (factors 0 = static QoS)
     qos_model: LoadDependentQoSModel = field(default_factory=LoadDependentQoSModel)
     #: lazily constructed vectorised scoring engine (see fast_scorer())
@@ -341,6 +345,14 @@ class Composer(abc.ABC):
         self, request: StreamRequest, reason: str, **counters
     ) -> CompositionOutcome:
         self.context.allocator.cancel_transient(request.request_id)
+        recorder = self.context.recorder
+        if recorder.enabled:
+            recorder.emit(
+                "probe.fail",
+                request_id=request.request_id,
+                algorithm=self.name,
+                reason=reason,
+            )
         return CompositionOutcome(
             request=request, success=False, failure_reason=reason, **counters
         )

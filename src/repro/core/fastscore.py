@@ -165,8 +165,13 @@ class _CandidateTable:
         effective QoS arrays when the global state has published updates."""
         global_state = context.global_state
         version = global_state.node_version
+        recorder = context.recorder
         if version == self.stale_version:
+            if recorder.enabled:
+                recorder.inc("fastscore.stale_hit")
             return
+        if recorder.enabled:
+            recorder.inc("fastscore.stale_refresh")
         network = context.network
         if self.capacity is None:
             self.capacity = np.asarray(
@@ -356,10 +361,21 @@ class FastScorer:
         self, function_id: int, candidates: Sequence[Component]
     ) -> _CandidateTable:
         version = self.context.registry.version
+        recorder = self.context.recorder
         table = self._tables.get(function_id)
         if table is None or table.registry_version != version:
             table = _CandidateTable(candidates, version)
             self._tables[function_id] = table
+            if recorder.enabled:
+                recorder.inc("fastscore.table_build")
+                recorder.emit(
+                    "fastscore.table_rebuild",
+                    function_id=function_id,
+                    candidates=len(table.components),
+                    registry_version=version,
+                )
+        elif recorder.enabled:
+            recorder.inc("fastscore.table_hit")
         return table
 
     # -- scoring ---------------------------------------------------------------
@@ -561,6 +577,7 @@ class FastScorer:
         ``link_version`` or churn bumps this source's ``row_version``.
         """
         context = self.context
+        recorder = context.recorder
         link_version = context.global_state.link_version
         row_version = context.router.row_version(upstream_node)
         entry = self._bandwidth_rows.get(upstream_node)
@@ -570,6 +587,10 @@ class FastScorer:
             )
             entry = (link_version, row_version, full_row)
             self._bandwidth_rows[upstream_node] = entry
+            if recorder.enabled:
+                recorder.inc("fastscore.bw_row_build")
+        elif recorder.enabled:
+            recorder.inc("fastscore.bw_row_hit")
         return entry[2][table.node_ids]
 
     @staticmethod

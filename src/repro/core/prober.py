@@ -37,6 +37,7 @@ RP  (random)      random        no              phi
 from __future__ import annotations
 
 import enum
+from time import perf_counter
 from typing import Callable, Dict, List, Optional, Tuple
 
 from repro.core.composer import Composer, CompositionContext, CompositionOutcome
@@ -117,6 +118,19 @@ class ProbingComposer(Composer):
         beam: List[Probe] = [factory.initial(request, ratio)]
         probe_messages = 0
         explored = 0
+        # one enabled check per compose; every further instrumentation
+        # site branches on this local so the disabled path costs a branch
+        recorder = context.recorder
+        observing = recorder.enabled
+        if observing:
+            recorder.emit(
+                "probe.start",
+                request_id=request.request_id,
+                algorithm=self.name,
+                ratio=ratio,
+                functions=len(graph),
+            )
+            compose_start = perf_counter()
         # per-compose memos for the scalar path: the coarse-grain view of a
         # candidate or a virtual link cannot change while one request's
         # wavefront runs, but several probes score the same candidate.
@@ -144,6 +158,9 @@ class ProbingComposer(Composer):
             predecessors = graph.predecessors(function_index)
             requirement = request.requirement_for(function_index)
             input_rate = rates[function_index]
+            if observing:
+                level_start = perf_counter()
+                beam_in = len(beam)
 
             if scorer is not None:
                 explored += len(beam) * len(candidates)
@@ -206,10 +223,34 @@ class ProbingComposer(Composer):
                 else:
                     selected = context.rng.sample(pool, min(budget, len(pool)))
 
+            if observing:
+                score_elapsed = perf_counter() - level_start
+                dispatch_start = perf_counter()
             beam = self._dispatch_probes(
                 request, factory, selected, function_index, predecessors, requirement
             )
             probe_messages += len(selected)  # one message per spawned probe
+            if observing:
+                recorder.observe("phase.score_level", score_elapsed)
+                recorder.observe(
+                    "phase.dispatch", perf_counter() - dispatch_start
+                )
+                recorder.inc("probe.messages", len(selected))
+                dropped = len(selected) - len(beam)
+                recorder.emit(
+                    "probe.level",
+                    request_id=request.request_id,
+                    function=function_index,
+                    beam=beam_in,
+                    candidates=len(candidates),
+                    budget=budget,
+                    selected=len(selected),
+                    survivors=len(beam),
+                    dropped=dropped,
+                )
+                if dropped:
+                    # probes pruned by precise on-arrival checks (Eqs. 6-8)
+                    recorder.inc("probe.pruned", dropped)
             if not beam:
                 return self._fail(
                     request,
@@ -219,7 +260,24 @@ class ProbingComposer(Composer):
                 )
 
         probe_messages += len(beam)  # completed probes return to the deputy
-        return self._final_selection(request, beam, probe_messages, explored)
+        if not observing:
+            return self._final_selection(request, beam, probe_messages, explored)
+        final_start = perf_counter()
+        outcome = self._final_selection(request, beam, probe_messages, explored)
+        now = perf_counter()
+        recorder.observe("phase.final_selection", now - final_start)
+        recorder.observe("phase.compose", now - compose_start)
+        if outcome.success:
+            recorder.emit(
+                "probe.commit",
+                request_id=request.request_id,
+                algorithm=self.name,
+                phi=outcome.phi,
+                probe_messages=outcome.probe_messages,
+                setup_messages=outcome.setup_messages,
+                explored=outcome.explored,
+            )
+        return outcome
 
     def _function_budget(
         self, request: StreamRequest, ratio: float, candidate_count: int

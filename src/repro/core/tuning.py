@@ -26,8 +26,15 @@ The paper's scheme, reproduced here:
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
+
+from repro.observability import NULL_RECORDER, Recorder
+
+#: Tolerance for float noise when ceiling a shortfall onto the step grid:
+#: ``0.1 + 0.2`` must count as exactly three 0.1-steps, not four.
+_GRID_EPSILON = 1e-9
 
 
 def _snap_to_grid(value: float, grid: float) -> float:
@@ -58,6 +65,7 @@ class ProbingRatioTuner:
         tolerance: float = 0.02,
         smoothing: float = 0.5,
         gain: float = 1.0,
+        recorder: Recorder = NULL_RECORDER,
     ):
         if not 0.0 < target_success_rate <= 1.0:
             raise ValueError(f"target must be in (0, 1], got {target_success_rate}")
@@ -68,6 +76,8 @@ class ProbingRatioTuner:
             )
         if step <= 0.0:
             raise ValueError(f"step must be positive, got {step}")
+        if tolerance < 0.0:
+            raise ValueError(f"tolerance must be non-negative, got {tolerance}")
         if not 0.0 < smoothing <= 1.0:
             raise ValueError(f"smoothing must be in (0, 1], got {smoothing}")
         self.target_success_rate = target_success_rate
@@ -77,6 +87,7 @@ class ProbingRatioTuner:
         self.tolerance = tolerance
         self.gain = gain
         self.smoothing = smoothing
+        self.recorder = recorder
         self._ratio = base_ratio
         #: on-line profile: ratio -> smoothed success rate observed at it
         self._profile: Dict[float, float] = {}
@@ -130,16 +141,30 @@ class ProbingRatioTuner:
             self._profile[key] = success_rate
 
         self._samples.append(TunerSample(time, self._ratio, success_rate, reprofiled))
+        previous_ratio = self._ratio
         self._ratio = self._next_ratio(success_rate)
+        if self.recorder.enabled:
+            self.recorder.emit(
+                "tuner.decision",
+                time=time,
+                ratio=previous_ratio,
+                measured=success_rate,
+                predicted=predicted,
+                reprofiled=reprofiled,
+                new_ratio=self._ratio,
+            )
         return self._ratio
 
     def _next_ratio(self, measured: float) -> float:
         target = self.target_success_rate
         current = _snap_to_grid(self._ratio, self.step)
         if measured < target - self.tolerance:
-            # below target: proportional jump, rounded up to the grid
+            # below target: proportional jump, rounded up to the grid with
+            # an epsilon-tolerant ceil — a plain ceil overshoots one full
+            # step when float error lands shortfall/step just above an
+            # integer (e.g. shortfall 0.1 + 0.2 over step 0.1)
             shortfall = (target - measured) * self.gain
-            steps = max(1, -(-shortfall // self.step))  # ceil
+            steps = max(1, math.ceil(shortfall / self.step - _GRID_EPSILON))
             return min(self.max_ratio, _snap_to_grid(current + steps * self.step,
                                                      self.step))
         if current > self.base_ratio:

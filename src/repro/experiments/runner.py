@@ -34,6 +34,7 @@ from repro.core.composer import Composer, CompositionContext
 from repro.core.optimal import OptimalComposer
 from repro.core.tuning import ProbingRatioTuner
 from repro.experiments.config import RunSpec
+from repro.observability import Recorder
 from repro.simulation.metrics import SimulationReport
 from repro.simulation.simulator import StreamProcessingSimulator
 from repro.simulation.system import StreamSystem, build_system
@@ -58,11 +59,20 @@ def make_composer(spec: RunSpec, context: CompositionContext) -> Composer:
 
 
 def build_simulator(
-    spec: RunSpec, system: Optional[StreamSystem] = None
+    spec: RunSpec,
+    system: Optional[StreamSystem] = None,
+    recorder: Optional[Recorder] = None,
 ) -> StreamProcessingSimulator:
     """Assemble the simulator for a spec (reusing ``system`` if provided —
-    only safe for probing a *fresh* system, since runs mutate state)."""
+    only safe for probing a *fresh* system, since runs mutate state).
+
+    ``recorder`` overrides the spec's ``system.recorder`` — the simulator
+    wires it through the context, router, tuner, and session layers, so a
+    caller-supplied :class:`~repro.observability.TraceRecorder` sees the
+    whole run (the ``repro-experiments trace`` subcommand uses this).
+    """
     system = system or build_system(spec.system)
+    recorder = recorder if recorder is not None else system.recorder
     workload = WorkloadGenerator(
         system.templates,
         spec.schedule,
@@ -71,18 +81,21 @@ def build_simulator(
         seed=spec.workload_seed,
     )
     context = system.composition_context(
-        rng=random.Random(spec.workload_seed + 17)
+        rng=random.Random(spec.workload_seed + 17), recorder=recorder
     )
     composer = make_composer(spec, context)
     tuner = None
     if spec.adaptive:
-        tuner = ProbingRatioTuner(target_success_rate=spec.target_success_rate)
+        tuner = ProbingRatioTuner(
+            target_success_rate=spec.target_success_rate, recorder=recorder
+        )
     return StreamProcessingSimulator(
         system,
         composer,
         workload,
         sampling_period_s=spec.sampling_period_s,
         tuner=tuner,
+        recorder=recorder,
     )
 
 

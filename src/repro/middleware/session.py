@@ -24,13 +24,14 @@ from __future__ import annotations
 
 import enum
 import itertools
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from typing import Callable, Dict, Optional, Tuple
 
 from repro.allocation.allocator import AdmissionError, ResourceAllocator, SessionAllocation
 from repro.core.composer import Composer, CompositionOutcome
 from repro.model.component_graph import ComponentGraph
 from repro.model.request import StreamRequest
+from repro.observability import NULL_RECORDER, Recorder
 
 
 class SessionState(enum.Enum):
@@ -76,10 +77,12 @@ class SessionManager:
         composer: Composer,
         allocator: ResourceAllocator,
         clock: Callable[[], float] = lambda: 0.0,
+        recorder: Recorder = NULL_RECORDER,
     ):
         self.composer = composer
         self.allocator = allocator
         self.clock = clock
+        self.recorder = recorder
         self._sessions: Dict[int, StreamSession] = {}
         self._session_ids = itertools.count(1)
         #: sessions ever created (the session id counter never reuses ids)
@@ -104,9 +107,21 @@ class SessionManager:
             allocation = self.allocator.commit(outcome.composition)
         except AdmissionError:
             self.allocator.cancel_transient(request.request_id)
-            outcome.success = False
-            outcome.failure_reason = "admission_race"
-            return None, outcome
+            if self.recorder.enabled:
+                self.recorder.emit(
+                    "session.admission_race", request_id=request.request_id
+                )
+            # the composer's outcome object must stay untouched — other
+            # holders (metrics, diagnostics) would silently see a
+            # composition flip to failed under them
+            failed = replace(
+                outcome,
+                success=False,
+                composition=None,
+                phi=None,
+                failure_reason="admission_race",
+            )
+            return None, failed
         session_id = next(self._session_ids)
         self._sessions[session_id] = StreamSession(
             session_id=session_id,
@@ -117,6 +132,13 @@ class SessionManager:
             created_at=self.clock(),
         )
         self.sessions_created += 1
+        if self.recorder.enabled:
+            self.recorder.emit(
+                "session.open",
+                session_id=session_id,
+                request_id=request.request_id,
+                phi=outcome.phi,
+            )
         return session_id, outcome
 
     # -- Process -------------------------------------------------------------
@@ -161,6 +183,12 @@ class SessionManager:
         self.allocator.release(session.allocation)
         session.state = SessionState.CLOSED
         del self._sessions[session_id]
+        if self.recorder.enabled:
+            self.recorder.emit(
+                "session.close",
+                session_id=session_id,
+                lifetime_s=self.clock() - session.created_at,
+            )
 
     def close_if_open(self, session_id: int) -> bool:
         """Close the session if it is still in the table; False otherwise.
@@ -192,6 +220,10 @@ class SessionManager:
             self.allocator.release(session.allocation)
             session.state = SessionState.FAILED
             del self._sessions[session.session_id]
+        if doomed and self.recorder.enabled:
+            self.recorder.emit(
+                "session.killed", node_id=node_id, count=len(doomed)
+            )
         return len(doomed)
 
     # -- introspection -----------------------------------------------------------

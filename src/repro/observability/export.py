@@ -1,0 +1,226 @@
+"""JSONL trace export and the ``trace-summary`` report.
+
+A trace file is one JSON object per line.  Event records carry ``t``
+(simulated seconds), ``kind``, and the event's flat fields; the final
+record has kind ``trace.registry`` and holds the metrics registry
+snapshot (counters, gauges, histograms — including the wall-clock phase
+timers).  The format is append-friendly and greppable; ``jq`` and pandas
+both read it directly.
+
+:func:`summarize_trace` folds a trace back into the figures the paper's
+evaluation plots — the per-window success-rate series μ(t) and the α(t)
+tuner series — plus cache hit rates and per-phase timings, and
+:func:`format_trace_summary` renders that as the ``trace-summary`` CLI
+output.  A traced run reconstructs the window and tuner series exactly
+(``tests/test_observability.py`` asserts equality against
+``SimulationReport`` and ``TunerSample``).
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, List, Optional, Sequence
+
+from repro.observability.recorder import TraceRecorder
+
+#: kind of the trailing registry-snapshot record in a JSONL trace
+REGISTRY_KIND = "trace.registry"
+
+
+def write_jsonl(path: str, recorder: TraceRecorder) -> int:
+    """Write the recorder's events plus a registry snapshot; returns the
+    number of records written."""
+    records = 0
+    with open(path, "w", encoding="utf-8") as sink:
+        for event in recorder.events:
+            record = {"t": event.time, "kind": event.kind}
+            record.update(event.fields)
+            sink.write(json.dumps(record) + "\n")
+            records += 1
+        snapshot = recorder.registry.snapshot()
+        snapshot["kind"] = REGISTRY_KIND
+        sink.write(json.dumps(snapshot) + "\n")
+        records += 1
+    return records
+
+
+def read_trace(path: str) -> List[Dict]:
+    """Read a JSONL trace back into a list of record dicts."""
+    records = []
+    with open(path, "r", encoding="utf-8") as source:
+        for line in source:
+            line = line.strip()
+            if line:
+                records.append(json.loads(line))
+    return records
+
+
+def _rate(hits: float, misses: float) -> Optional[float]:
+    total = hits + misses
+    return hits / total if total else None
+
+
+def summarize_trace(records: Sequence[Dict]) -> Dict:
+    """Fold trace records into the summary ``trace-summary`` prints."""
+    kinds: Dict[str, int] = {}
+    windows = []
+    tuner = []
+    failure_reasons: Dict[str, int] = {}
+    crashes = recoveries = 0
+    sessions_opened = sessions_closed = sessions_killed = admission_races = 0
+    composes = commits = 0
+    registry: Optional[Dict] = None
+    for record in records:
+        kind = record.get("kind", "?")
+        if kind == REGISTRY_KIND:
+            registry = record
+            continue
+        kinds[kind] = kinds.get(kind, 0) + 1
+        if kind == "window.close":
+            windows.append(record)
+        elif kind == "tuner.decision":
+            tuner.append(record)
+        elif kind == "probe.start":
+            composes += 1
+        elif kind == "probe.commit":
+            commits += 1
+        elif kind == "probe.fail":
+            reason = record.get("reason", "?")
+            failure_reasons[reason] = failure_reasons.get(reason, 0) + 1
+        elif kind == "failure.crash":
+            crashes += 1
+        elif kind == "failure.recover":
+            recoveries += 1
+        elif kind == "session.open":
+            sessions_opened += 1
+        elif kind == "session.close":
+            sessions_closed += 1
+        elif kind == "session.killed":
+            sessions_killed += int(record.get("count", 0))
+        elif kind == "session.admission_race":
+            admission_races += 1
+
+    counters = registry.get("counters", {}) if registry else {}
+    cache_rates = {
+        "fastscore.table": _rate(
+            counters.get("fastscore.table_hit", 0),
+            counters.get("fastscore.table_build", 0),
+        ),
+        "fastscore.stale_qos": _rate(
+            counters.get("fastscore.stale_hit", 0),
+            counters.get("fastscore.stale_refresh", 0),
+        ),
+        "fastscore.bandwidth_row": _rate(
+            counters.get("fastscore.bw_row_hit", 0),
+            counters.get("fastscore.bw_row_build", 0),
+        ),
+    }
+    return {
+        "events": sum(kinds.values()),
+        "kinds": dict(sorted(kinds.items())),
+        "windows": windows,
+        "tuner": tuner,
+        "composes": composes,
+        "commits": commits,
+        "failure_reasons": dict(sorted(failure_reasons.items())),
+        "crashes": crashes,
+        "recoveries": recoveries,
+        "sessions": {
+            "opened": sessions_opened,
+            "closed": sessions_closed,
+            "killed": sessions_killed,
+            "admission_races": admission_races,
+        },
+        "cache_hit_rates": cache_rates,
+        "registry": registry,
+    }
+
+
+def format_trace_summary(summary: Dict) -> str:
+    """Render :func:`summarize_trace` output as the CLI report."""
+    lines = [f"trace: {summary['events']} events"]
+    lines.append("")
+    lines.append("event counts")
+    for kind, count in summary["kinds"].items():
+        lines.append(f"  {kind:<24} {count}")
+
+    composes = summary["composes"]
+    if composes:
+        lines.append("")
+        rate = summary["commits"] / composes
+        lines.append(
+            f"compositions: {composes} attempted, {summary['commits']} "
+            f"committed ({rate:.1%} success)"
+        )
+        for reason, count in summary["failure_reasons"].items():
+            lines.append(f"  fail {reason:<22} {count}")
+
+    sessions = summary["sessions"]
+    if sessions["opened"]:
+        lines.append("")
+        lines.append(
+            f"sessions: {sessions['opened']} opened, {sessions['closed']} "
+            f"closed, {sessions['killed']} killed by crashes, "
+            f"{sessions['admission_races']} admission races"
+        )
+    if summary["crashes"] or summary["recoveries"]:
+        lines.append(
+            f"churn: {summary['crashes']} crashes, "
+            f"{summary['recoveries']} recoveries"
+        )
+
+    if summary["windows"]:
+        lines.append("")
+        lines.append("sampling windows  t(min)  success  requests  ratio")
+        for window in summary["windows"]:
+            ratio = window.get("probing_ratio")
+            lines.append(
+                f"  {window['t'] / 60.0:15.1f}  "
+                f"{window['success_rate']:7.3f}  "
+                f"{window['requests']:8d}  "
+                + (f"{ratio:5.2f}" if ratio is not None else "    -")
+            )
+
+    if summary["tuner"]:
+        lines.append("")
+        lines.append(
+            "tuner decisions  t(min)  alpha  measured  predicted  -> next"
+        )
+        for decision in summary["tuner"]:
+            predicted = decision.get("predicted")
+            flag = " R" if decision.get("reprofiled") else ""
+            lines.append(
+                f"  {decision['t'] / 60.0:14.1f}  "
+                f"{decision['ratio']:5.2f}  "
+                f"{decision['measured']:8.3f}  "
+                + (f"{predicted:9.3f}" if predicted is not None else "        -")
+                + f"  {decision['new_ratio']:7.2f}{flag}"
+            )
+
+    rates = {
+        name: rate
+        for name, rate in summary["cache_hit_rates"].items()
+        if rate is not None
+    }
+    if rates:
+        lines.append("")
+        lines.append("cache hit rates")
+        for name, rate in rates.items():
+            lines.append(f"  {name:<26} {rate:.1%}")
+
+    registry = summary.get("registry")
+    histograms = registry.get("histograms", {}) if registry else {}
+    phases = {
+        name: stats
+        for name, stats in histograms.items()
+        if name.startswith("phase.")
+    }
+    if phases:
+        lines.append("")
+        lines.append("phase timings (wall-clock)    count      mean       max")
+        for name, stats in phases.items():
+            lines.append(
+                f"  {name[len('phase.'):]:<24} {stats['count']:9d} "
+                f"{stats['mean'] * 1e3:8.3f}ms {stats['max'] * 1e3:8.3f}ms"
+            )
+    return "\n".join(lines)

@@ -1,0 +1,163 @@
+"""The recorder protocol: structured trace events plus a metrics registry.
+
+Every layer of the pipeline holds a :class:`Recorder` and reports what it
+does through it — probe wavefront progress, fastscore cache hits and
+rebuilds, router tree drops under churn, tuner decisions, session
+lifecycle, failure injections.  Two implementations:
+
+* :class:`NullRecorder` — the default everywhere.  ``enabled`` is False
+  and every method is a no-op, so instrumented call sites guard their
+  work with one attribute check and the disabled path costs a branch
+  (``benchmarks/test_observability_overhead.py`` bounds it at ≤ 5 % of a
+  composition).  The module-level :data:`NULL_RECORDER` singleton is
+  shared so identity checks (``recorder is NULL_RECORDER``) can tell
+  "nobody asked for tracing" apart from a caller-supplied recorder.
+* :class:`TraceRecorder` — captures :class:`TraceEvent` records in memory
+  and owns a :class:`~repro.observability.registry.MetricsRegistry`.
+  Event timestamps come from a bindable clock (the simulator binds its
+  event scheduler, so traces carry *simulated* seconds); phase timers
+  measure *wall-clock* seconds, since their job is profiling the code.
+
+Recorders hold only plain containers, so a fresh ``TraceRecorder``
+travels through ``SystemConfig`` into spawned experiment workers; traces
+are in-memory per process and exported explicitly
+(:func:`repro.observability.export.write_jsonl`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from time import perf_counter
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.observability.registry import MetricsRegistry
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One structured trace record: a kind, a timestamp, flat fields."""
+
+    time: float
+    kind: str
+    fields: Dict[str, object] = field(default_factory=dict)
+
+
+class Recorder:
+    """Interface every instrumented layer records through.
+
+    Call sites must treat :attr:`enabled` as the master switch: skip any
+    non-trivial argument construction when it is False so the disabled
+    path stays free.  (The methods are no-op safe either way.)
+    """
+
+    #: False on the null recorder — hot paths branch on this.
+    enabled: bool = False
+
+    def emit(self, kind: str, time: Optional[float] = None, **fields) -> None:
+        """Record one structured event (timestamp defaults to the clock)."""
+
+    def inc(self, name: str, amount: float = 1.0) -> None:
+        """Increment a named counter."""
+
+    def set_gauge(self, name: str, value: float) -> None:
+        """Set a named gauge."""
+
+    def observe(self, name: str, value: float) -> None:
+        """Observe one value into a named histogram."""
+
+    def phase(self, name: str) -> "_PhaseTimer":
+        """Context manager timing a named phase into ``phase.<name>``."""
+        return _NULL_PHASE
+
+    def bind_clock(self, clock: Callable[[], float]) -> None:
+        """Source of event timestamps (e.g. the simulation clock)."""
+
+
+class _NullPhase:
+    """Shared no-op context manager returned by the null recorder."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NullPhase":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        return None
+
+
+_NULL_PHASE = _NullPhase()
+
+
+class _PhaseTimer:
+    """Times one ``with`` block and observes the wall-clock duration."""
+
+    __slots__ = ("_registry", "_name", "_start")
+
+    def __init__(self, registry: MetricsRegistry, name: str):
+        self._registry = registry
+        self._name = name
+
+    def __enter__(self) -> "_PhaseTimer":
+        self._start = perf_counter()
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self._registry.histogram(self._name).observe(perf_counter() - self._start)
+
+
+class NullRecorder(Recorder):
+    """The zero-overhead default: records nothing, answers instantly."""
+
+    enabled = False
+
+    def __repr__(self) -> str:
+        return "NullRecorder()"
+
+
+#: Shared do-nothing recorder; the default for every instrumented layer.
+NULL_RECORDER = NullRecorder()
+
+
+class TraceRecorder(Recorder):
+    """In-memory structured trace capture plus a metrics registry."""
+
+    enabled = True
+
+    def __init__(self, clock: Optional[Callable[[], float]] = None):
+        self._events: List[TraceEvent] = []
+        self._clock = clock
+        self.registry = MetricsRegistry()
+
+    # -- event capture ------------------------------------------------------
+
+    def emit(self, kind: str, time: Optional[float] = None, **fields) -> None:
+        if time is None:
+            time = self._clock() if self._clock is not None else 0.0
+        self._events.append(TraceEvent(time, kind, fields))
+
+    @property
+    def events(self) -> Tuple[TraceEvent, ...]:
+        return tuple(self._events)
+
+    def events_of(self, kind: str) -> Tuple[TraceEvent, ...]:
+        return tuple(event for event in self._events if event.kind == kind)
+
+    def bind_clock(self, clock: Callable[[], float]) -> None:
+        self._clock = clock
+
+    # -- metrics ------------------------------------------------------------
+
+    def inc(self, name: str, amount: float = 1.0) -> None:
+        self.registry.counter(name).inc(amount)
+
+    def set_gauge(self, name: str, value: float) -> None:
+        self.registry.gauge(name).set(value)
+
+    def observe(self, name: str, value: float) -> None:
+        self.registry.histogram(name).observe(value)
+
+    def phase(self, name: str) -> _PhaseTimer:
+        return _PhaseTimer(self.registry, "phase." + name)
+
+    def __repr__(self) -> str:
+        return f"TraceRecorder(events={len(self._events)})"

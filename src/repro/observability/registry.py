@@ -1,0 +1,116 @@
+"""Counter / gauge / histogram registry behind the trace recorder.
+
+The registry is deliberately minimal: metrics are named scalars updated on
+the hot path, so every instrument is a plain attribute update — no labels,
+no lock, no allocation per observation.  Histograms keep streaming
+statistics (count, total, min, max) rather than samples; the per-phase
+timers around the compose hot path observe wall-clock seconds into them.
+
+The whole registry serialises to one JSON-friendly dict via
+:meth:`MetricsRegistry.snapshot`, which the JSONL trace exporter appends
+as the final ``trace.registry`` record.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict
+
+
+class Counter:
+    """A monotonically increasing named value."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        self.value += amount
+
+
+class Gauge:
+    """A named value that goes up and down (last write wins)."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = value
+
+
+class Histogram:
+    """Streaming distribution summary of a named observation."""
+
+    __slots__ = ("name", "count", "total", "min", "max")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.count = 0
+        self.total = 0.0
+        self.min = math.inf
+        self.max = -math.inf
+
+    def observe(self, value: float) -> None:
+        self.count += 1
+        self.total += value
+        if value < self.min:
+            self.min = value
+        if value > self.max:
+            self.max = value
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+
+class MetricsRegistry:
+    """Named counters, gauges, and histograms for one recorder."""
+
+    def __init__(self) -> None:
+        self._counters: Dict[str, Counter] = {}
+        self._gauges: Dict[str, Gauge] = {}
+        self._histograms: Dict[str, Histogram] = {}
+
+    def counter(self, name: str) -> Counter:
+        instrument = self._counters.get(name)
+        if instrument is None:
+            instrument = self._counters[name] = Counter(name)
+        return instrument
+
+    def gauge(self, name: str) -> Gauge:
+        instrument = self._gauges.get(name)
+        if instrument is None:
+            instrument = self._gauges[name] = Gauge(name)
+        return instrument
+
+    def histogram(self, name: str) -> Histogram:
+        instrument = self._histograms.get(name)
+        if instrument is None:
+            instrument = self._histograms[name] = Histogram(name)
+        return instrument
+
+    def snapshot(self) -> Dict[str, Dict]:
+        """JSON-serialisable view of every instrument's current state."""
+        return {
+            "counters": {
+                name: counter.value for name, counter in sorted(self._counters.items())
+            },
+            "gauges": {
+                name: gauge.value for name, gauge in sorted(self._gauges.items())
+            },
+            "histograms": {
+                name: {
+                    "count": histogram.count,
+                    "total": histogram.total,
+                    "mean": histogram.mean,
+                    "min": histogram.min if histogram.count else 0.0,
+                    "max": histogram.max if histogram.count else 0.0,
+                }
+                for name, histogram in sorted(self._histograms.items())
+            },
+        }

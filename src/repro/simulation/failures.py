@@ -29,6 +29,7 @@ from dataclasses import dataclass
 from typing import List, Optional, Sequence, Set, Tuple
 
 from repro.middleware.session import SessionManager
+from repro.observability import NULL_RECORDER, Recorder
 from repro.topology.overlay import OverlayNetwork
 from repro.topology.routing import OverlayRouter
 
@@ -55,6 +56,7 @@ class FailureInjector:
         period_s: float = 60.0,
         max_concurrent_failures: Optional[int] = None,
         rng: Optional[random.Random] = None,
+        recorder: Recorder = NULL_RECORDER,
     ):
         if not 0.0 <= fail_probability <= 1.0:
             raise ValueError(f"fail_probability must be in [0, 1]")
@@ -73,10 +75,24 @@ class FailureInjector:
             else max(1, len(network) // 10)
         )
         self.rng = rng or random.Random()
+        self.recorder = recorder
         self._down: Set[int] = set()
         self._events: List[FailureEvent] = []
         #: sessions terminated by crashes since construction
         self.sessions_killed = 0
+
+    def _record(self, events: List[FailureEvent]) -> List[FailureEvent]:
+        """Append to the event log and mirror into the trace recorder."""
+        self._events.extend(events)
+        if self.recorder.enabled:
+            for event in events:
+                self.recorder.emit(
+                    "failure." + event.kind,
+                    time=event.time,
+                    node_id=event.node_id,
+                    sessions_killed=event.sessions_killed,
+                )
+        return events
 
     @property
     def down_nodes(self) -> frozenset:
@@ -129,8 +145,7 @@ class FailureInjector:
             events.append(FailureEvent(now, node_id, "crash", killed))
         if events:
             self.router.set_down_nodes(self._down)
-        self._events.extend(events)
-        return events
+        return self._record(events)
 
     def recover_many(
         self, node_ids: Sequence[int], now: float = 0.0
@@ -151,8 +166,7 @@ class FailureInjector:
             events.append(FailureEvent(now, node_id, "recover"))
         if events:
             self.router.set_down_nodes(self._down)
-        self._events.extend(events)
-        return events
+        return self._record(events)
 
     # -- the stochastic round ----------------------------------------------------
 
@@ -182,5 +196,4 @@ class FailureInjector:
                 events.append(FailureEvent(now, node.node_id, "crash", killed))
         if events:
             self.router.set_down_nodes(self._down)
-        self._events.extend(events)
-        return events
+        return self._record(events)

@@ -18,6 +18,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
+from repro.observability import NULL_RECORDER, Recorder
+
 
 @dataclass(frozen=True)
 class RequestRecord:
@@ -92,7 +94,8 @@ class SimulationReport:
 class MetricsCollector:
     """Accumulates per-request records and periodic window samples."""
 
-    def __init__(self) -> None:
+    def __init__(self, recorder: Recorder = NULL_RECORDER) -> None:
+        self.recorder = recorder
         self._records: List[RequestRecord] = []
         self._samples: List[WindowSample] = []
         self._window_success = 0
@@ -129,6 +132,16 @@ class MetricsCollector:
             rate = 1.0
         sample = WindowSample(time, rate, self._window_total, probing_ratio)
         self._samples.append(sample)
+        if self.recorder.enabled:
+            self.recorder.emit(
+                "window.close",
+                time=time,
+                success_rate=rate,
+                requests=sample.requests,
+                probing_ratio=probing_ratio,
+                carried=sample.requests == 0,
+            )
+            self.recorder.set_gauge("window.success_rate", rate)
         self._window_success = 0
         self._window_total = 0
         return sample

@@ -23,6 +23,7 @@ from repro.core.acp import ACPComposer
 from repro.core.composer import Composer
 from repro.core.tuning import ProbingRatioTuner
 from repro.middleware.session import SessionManager
+from repro.observability import NULL_RECORDER, Recorder
 from repro.placement.migration import ComponentMigrationManager
 from repro.simulation.failures import FailureInjector
 from repro.simulation.engine import EventScheduler
@@ -43,6 +44,7 @@ class StreamProcessingSimulator:
         tuner: Optional[ProbingRatioTuner] = None,
         migration: Optional[ComponentMigrationManager] = None,
         failures: Optional[FailureInjector] = None,
+        recorder: Optional[Recorder] = None,
     ):
         if sampling_period_s <= 0.0:
             raise ValueError(f"sampling period must be positive: {sampling_period_s}")
@@ -59,10 +61,28 @@ class StreamProcessingSimulator:
             composer.attach_tuner(tuner)
 
         self.scheduler = EventScheduler()
-        self.metrics = MetricsCollector()
+        # the simulator is the observability wiring hub: one recorder
+        # (argument > system default) reaches every layer, and trace
+        # event timestamps follow the simulated clock.  Layers a caller
+        # already pointed at a non-null recorder are left alone.
+        self.recorder = recorder if recorder is not None else system.recorder
+        self.recorder.bind_clock(lambda: self.scheduler.now)
+        if composer.context.recorder is NULL_RECORDER:
+            composer.context.recorder = self.recorder
+        if system.router.recorder is NULL_RECORDER:
+            system.router.recorder = self.recorder
+        if tuner is not None and tuner.recorder is NULL_RECORDER:
+            tuner.recorder = self.recorder
+        if failures is not None and failures.recorder is NULL_RECORDER:
+            failures.recorder = self.recorder
+
+        self.metrics = MetricsCollector(recorder=self.recorder)
         self._pending_arrival = None
         self.sessions = SessionManager(
-            composer, system.allocator, clock=lambda: self.scheduler.now
+            composer,
+            system.allocator,
+            clock=lambda: self.scheduler.now,
+            recorder=self.recorder,
         )
         # composers read the simulated clock for reservation deadlines
         composer.context.clock = lambda: self.scheduler.now
@@ -108,7 +128,11 @@ class StreamProcessingSimulator:
         if isinstance(self.composer, ACPComposer):
             ratio = self.composer.current_probing_ratio()
         sample = self.metrics.close_window(now, probing_ratio=ratio)
-        if self.tuner is not None:
+        # an idle window carries the previous rate forward for the Fig. 8
+        # series, but that carried value is NOT a measurement of the
+        # current ratio — feeding it to the tuner would register phantom
+        # profile points and could trigger spurious re-profiles
+        if self.tuner is not None and sample.requests > 0:
             self.tuner.record_sample(sample.success_rate, time=now)
 
     def _on_aggregation_round(self) -> None:
@@ -134,6 +158,14 @@ class StreamProcessingSimulator:
         aggregation = self.system.aggregation
         state_messages_before = state.total_update_messages
         aggregation_messages_before = aggregation.broadcast_messages
+        if self.recorder.enabled:
+            self.recorder.emit(
+                "sim.start",
+                algorithm=self.composer.name,
+                duration_s=duration_s,
+                sampling_period_s=self.sampling_period_s,
+                adaptive=self.tuner is not None,
+            )
 
         self._schedule_next_arrival()
         sampling = self.scheduler.schedule_periodic(
@@ -166,7 +198,7 @@ class StreamProcessingSimulator:
             # drain (open sessions still close on their own schedule)
             self._pending_arrival.cancel()
 
-        return self.metrics.build_report(
+        report = self.metrics.build_report(
             algorithm=self.composer.name,
             duration_s=duration_s,
             state_update_messages=state.total_update_messages
@@ -174,3 +206,12 @@ class StreamProcessingSimulator:
             aggregation_messages=aggregation.broadcast_messages
             - aggregation_messages_before,
         )
+        if self.recorder.enabled:
+            self.recorder.emit(
+                "sim.end",
+                algorithm=report.algorithm,
+                total_requests=report.total_requests,
+                successes=report.successes,
+                probe_messages=report.probe_messages,
+            )
+        return report

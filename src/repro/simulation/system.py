@@ -21,6 +21,7 @@ from repro.discovery.deployment import ComponentDeployer, DeploymentProfile
 from repro.discovery.registry import ComponentRegistry
 from repro.model.functions import FunctionCatalog
 from repro.model.templates import TemplateLibrary
+from repro.observability import NULL_RECORDER, Recorder
 from repro.state.aggregation import AggregationManager, RotationPolicy
 from repro.state.global_state import GlobalStateManager
 from repro.state.local_state import LocalStateProvider
@@ -61,6 +62,13 @@ class SystemConfig:
     #: churn benchmark measures the ratio between the two)
     incremental_routing: bool = True
     seed: int = 0
+    #: observability sink wired through every layer built from this
+    #: config (router, composers, simulator); None means the shared
+    #: zero-overhead null recorder.  Excluded from equality/hash so two
+    #: configs describe the same system regardless of who watches it.
+    recorder: Optional[Recorder] = field(
+        default=None, compare=False, repr=False
+    )
 
     def with_seed(self, seed: int) -> "SystemConfig":
         return replace(self, seed=seed)
@@ -85,6 +93,9 @@ class StreamSystem:
     local_state: LocalStateProvider
     allocator: ResourceAllocator
     _deputy_selector: Optional[DeputySelector] = None
+    #: the recorder the system was built with (the null singleton unless
+    #: the config asked for tracing)
+    recorder: Recorder = NULL_RECORDER
 
     @property
     def deputy_selector(self) -> DeputySelector:
@@ -98,6 +109,7 @@ class StreamSystem:
         self,
         rng: Optional[random.Random] = None,
         clock: Callable[[], float] = lambda: 0.0,
+        recorder: Optional[Recorder] = None,
     ) -> CompositionContext:
         """A composer-facing view of this system."""
         return CompositionContext(
@@ -109,6 +121,7 @@ class StreamSystem:
             local_state=self.local_state,
             rng=rng or random.Random(self.config.seed + 1),
             clock=clock,
+            recorder=recorder or self.recorder,
         )
 
     def mean_candidates_per_function(self) -> float:
@@ -125,6 +138,7 @@ def build_system(config: SystemConfig) -> StreamSystem:
     Sub-seeds are derived from ``config.seed`` so each stage has an
     independent stream and changing one knob does not scramble the others.
     """
+    recorder = config.recorder if config.recorder is not None else NULL_RECORDER
     catalog = FunctionCatalog(size=config.catalog_size, num_formats=config.num_formats)
     templates = TemplateLibrary(
         catalog,
@@ -146,7 +160,9 @@ def build_system(config: SystemConfig) -> StreamSystem:
         bandwidth_range_kbps=config.overlay_bandwidth_kbps,
         rng=random.Random(config.seed * 7 + 3),
     )
-    overlay_router = OverlayRouter(network, incremental=config.incremental_routing)
+    overlay_router = OverlayRouter(
+        network, incremental=config.incremental_routing, recorder=recorder
+    )
     registry = ComponentDeployer(catalog, profile=config.deployment).deploy(
         network, rng=random.Random(config.seed * 7 + 4)
     )
@@ -175,4 +191,5 @@ def build_system(config: SystemConfig) -> StreamSystem:
         aggregation=aggregation,
         local_state=local_state,
         allocator=allocator,
+        recorder=recorder,
     )

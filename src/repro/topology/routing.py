@@ -54,6 +54,7 @@ from scipy.sparse.csgraph import dijkstra
 
 from repro.model.component_graph import VirtualLinkPath
 from repro.model.qos import MetricKind, QoSVector, combine_all
+from repro.observability import NULL_RECORDER, Recorder
 from repro.topology.overlay import OverlayLink, OverlayNetwork
 
 
@@ -112,9 +113,15 @@ class _SourceTree:
 class OverlayRouter:
     """Delay-based shortest-path routing over an overlay mesh."""
 
-    def __init__(self, network: OverlayNetwork, incremental: bool = True):
+    def __init__(
+        self,
+        network: OverlayNetwork,
+        incremental: bool = True,
+        recorder: Recorder = NULL_RECORDER,
+    ):
         self.network = network
         self._incremental = incremental
+        self.recorder = recorder
         self._down_nodes: frozenset = frozenset()
         #: monotone topology epoch, bumped once per down-set change; per
         #: source, :meth:`row_version` is the finer-grained cache key
@@ -214,6 +221,8 @@ class OverlayRouter:
     def _tree(self, source: int) -> _SourceTree:
         tree = self._trees.get(source)
         if tree is None:
+            if self.recorder.enabled:
+                self.recorder.inc("router.tree_solve")
             if self._incremental:
                 distances, predecessors = dijkstra(
                     self._matrix,
@@ -308,8 +317,19 @@ class OverlayRouter:
         self._down_nodes = down
         self.epoch += 1
         self._build_matrix()
+        observing = self.recorder.enabled
         if not self._incremental:
+            dropped = len(self._trees)
             self._solve_all()
+            if observing:
+                self.recorder.emit(
+                    "router.churn",
+                    epoch=self.epoch,
+                    down=len(down),
+                    dropped_trees=dropped,
+                    patched_trees=0,
+                    eager=True,
+                )
             return
 
         changed_roots = newly_down | newly_up
@@ -327,6 +347,8 @@ class OverlayRouter:
             np.fromiter(probe, dtype=np.int64, count=len(probe)) if probe else None
         )
 
+        dropped = 0
+        patched = 0
         for source in list(self._trees):
             tree = self._trees[source]
             if (
@@ -340,16 +362,30 @@ class OverlayRouter:
                 del self._trees[source]
                 self._path_cache.pop(source, None)
                 self._qos_cache.pop(source, None)
+                dropped += 1
             elif crashed is not None:
                 paths = self._path_cache.get(source)
                 qos = self._qos_cache.get(source)
+                tree_patched = False
                 for node_id in newly_down:
                     if tree.finite[node_id]:
                         self._patch_unreachable(tree, node_id)
+                        tree_patched = True
                     if paths is not None:
                         paths.pop(node_id, None)
                     if qos is not None:
                         qos.pop(node_id, None)
+                if tree_patched:
+                    patched += 1
+        if observing:
+            self.recorder.emit(
+                "router.churn",
+                epoch=self.epoch,
+                down=len(down),
+                dropped_trees=dropped,
+                patched_trees=patched,
+                eager=False,
+            )
 
     def row_version(self, source: int) -> int:
         """Version of ``source``'s routing rows (the topology epoch its

@@ -56,6 +56,25 @@ class TestCommands:
         assert "Figure 5a" in out
         assert "20 reqs/min" in out
 
+    def test_trace_round_trip(self, tmp_path, capsys):
+        trace_path = tmp_path / "trace.jsonl"
+        exit_code = main(
+            [
+                "trace", *TINY, "--rate", "20", "--adaptive",
+                "--duration", "400", "--trace-out", str(trace_path),
+            ]
+        )
+        assert exit_code == 0
+        out = capsys.readouterr().out
+        assert "wrote" in out and "events" in out
+        assert trace_path.exists()
+        # the exported trace summarises standalone
+        exit_code = main(["trace-summary", str(trace_path)])
+        assert exit_code == 0
+        out = capsys.readouterr().out
+        assert "event counts" in out
+        assert "tuner decisions" in out
+
     def test_output_file(self, tmp_path, capsys):
         sink = tmp_path / "out.txt"
         main(

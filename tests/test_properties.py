@@ -7,7 +7,11 @@ These complement the per-module unit tests with randomised invariants:
 * φ(λ) is non-negative, monotone in load, and infinite exactly on
   saturation;
 * the probing wavefront never exceeds its per-function probe budget and
-  never returns an unqualified composition.
+  never returns an unqualified composition;
+* the probing-ratio tuner keeps α on its grid, inside [base, max], and
+  monotone non-decreasing under sustained shortfall;
+* the metrics collector's window accounting loses no requests across
+  arbitrary idle/busy window sequences.
 """
 
 import random
@@ -18,6 +22,8 @@ from hypothesis import given, settings, strategies as st
 from repro.allocation.allocator import AdmissionError, ResourceAllocator
 from repro.core import ACPComposer, CompositionEvaluator, OptimalComposer
 from repro.core.selection import probe_budget
+from repro.core.tuning import ProbingRatioTuner
+from repro.simulation.metrics import MetricsCollector, RequestRecord
 from repro.model.function_graph import FunctionGraph
 from repro.model.functions import FunctionCatalog
 from repro.model.node import Node
@@ -181,3 +187,91 @@ def test_probe_messages_respect_budget(seed):
     )
     # + returning probes (≤ the last level's budget)
     assert outcome.probe_messages <= 2 * bound
+
+
+# -- probing-ratio tuner invariants -------------------------------------------
+
+
+@given(
+    st.lists(
+        st.floats(min_value=0.0, max_value=1.0, allow_nan=False),
+        min_size=1,
+        max_size=40,
+    )
+)
+@settings(max_examples=100, deadline=None)
+def test_tuner_ratio_stays_on_grid_and_in_range(samples):
+    """Whatever success rates arrive, α stays on the 0.1 grid and inside
+    [base_ratio, max_ratio]."""
+    tuner = ProbingRatioTuner(target_success_rate=0.9, max_ratio=0.8)
+    for success_rate in samples:
+        ratio = tuner.record_sample(success_rate)
+        assert tuner.base_ratio - 1e-9 <= ratio <= tuner.max_ratio + 1e-9
+        steps = ratio / tuner.step
+        assert abs(steps - round(steps)) < 1e-6, f"off-grid ratio {ratio}"
+
+
+@given(
+    st.lists(
+        st.floats(min_value=0.0, max_value=0.5, allow_nan=False),
+        min_size=1,
+        max_size=20,
+    )
+)
+@settings(max_examples=100, deadline=None)
+def test_tuner_monotone_under_sustained_shortfall(samples):
+    """While every measurement misses the target, α never moves down."""
+    tuner = ProbingRatioTuner(target_success_rate=0.9)
+    previous = tuner.current_ratio()
+    for success_rate in samples:
+        ratio = tuner.record_sample(success_rate)
+        assert ratio >= previous - 1e-9
+        previous = ratio
+
+
+# -- metrics window accounting -------------------------------------------------
+
+
+window_sequence = st.lists(
+    st.lists(st.booleans(), max_size=8), min_size=1, max_size=12
+)
+
+
+@given(window_sequence)
+@settings(max_examples=100, deadline=None)
+def test_metrics_window_accounting(windows):
+    """Across arbitrary idle/busy window sequences: every request lands in
+    exactly one window, busy windows report their own rate, and idle
+    windows carry the previous rate forward (1.0 at the very start)."""
+    collector = MetricsCollector()
+    request_id = 0
+    now = 0.0
+    for outcomes in windows:
+        for success in outcomes:
+            collector.record(
+                RequestRecord(
+                    request_id=request_id,
+                    arrival_time=now,
+                    success=success,
+                    probe_messages=1,
+                    setup_messages=1,
+                    explored=1,
+                )
+            )
+            request_id += 1
+        now += 300.0
+        sample = collector.close_window(now)
+        assert sample.requests == len(outcomes)
+        if outcomes:
+            assert sample.success_rate == pytest.approx(
+                sum(outcomes) / len(outcomes)
+            )
+        else:
+            previous = collector.window_samples[-2:-1]
+            expected = previous[0].success_rate if previous else 1.0
+            assert sample.success_rate == expected
+    assert sum(s.requests for s in collector.window_samples) == request_id
+    assert len(collector.records) == request_id
+    assert collector.success_count() == sum(
+        1 for r in collector.records if r.success
+    )

@@ -45,6 +45,41 @@ class TestFind:
         sid2, _ = manager.find(second)
         assert sid1 != sid2
 
+    def test_admission_race_leaves_composer_outcome_untouched(
+        self, manager, micro_request, monkeypatch
+    ):
+        """Losing the post-probe admission race must not mutate the
+        composer's outcome object in place — other holders (metrics,
+        diagnostics) would see a successful composition silently flip to
+        failed under them."""
+        from repro.allocation.allocator import AdmissionError
+
+        captured = {}
+        original_compose = manager.composer.compose
+
+        def spying_compose(request):
+            outcome = original_compose(request)
+            captured["outcome"] = outcome
+            return outcome
+
+        def losing_commit(composition):
+            raise AdmissionError("lost the race")
+
+        monkeypatch.setattr(manager.composer, "compose", spying_compose)
+        monkeypatch.setattr(manager.allocator, "commit", losing_commit)
+        session_id, outcome = manager.find(micro_request)
+        assert session_id is None
+        assert not outcome.success
+        assert outcome.composition is None
+        assert outcome.failure_reason == "admission_race"
+        # the composer's original outcome is a distinct, unmodified object
+        original = captured["outcome"]
+        assert outcome is not original
+        assert original.success
+        assert original.composition is not None
+        assert original.failure_reason is None
+        assert manager.active_session_count == 0
+
 
 class TestProcess:
     def test_processing_reports_stream_transform(self, manager, micro_request):

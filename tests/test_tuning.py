@@ -23,6 +23,10 @@ class TestConstruction:
         with pytest.raises(ValueError, match="step"):
             ProbingRatioTuner(step=0.0)
 
+    def test_invalid_tolerance(self):
+        with pytest.raises(ValueError, match="tolerance"):
+            ProbingRatioTuner(tolerance=-0.1)
+
 
 class TestControlLoop:
     def test_ratio_rises_on_shortfall(self):
@@ -36,6 +40,14 @@ class TestControlLoop:
         tuner = ProbingRatioTuner(target_success_rate=0.9, base_ratio=0.2)
         ratio = tuner.record_sample(0.55)
         assert ratio >= 0.5 - 1e-9
+
+    def test_float_shortfall_does_not_overshoot_grid(self):
+        """A 30-point shortfall is exactly three 0.1-steps.  Float error
+        makes ``0.9 - 0.6`` come out just above 0.3, and a naive ceil
+        (``-(-shortfall // step)``) then overshoots to four steps."""
+        tuner = ProbingRatioTuner(target_success_rate=0.9)
+        ratio = tuner.record_sample(0.6)
+        assert ratio == pytest.approx(0.4)
 
     def test_ratio_capped_at_max(self):
         tuner = ProbingRatioTuner(target_success_rate=0.9, max_ratio=0.6)
