@@ -3,10 +3,27 @@
 
 PYTEST := PYTHONPATH=src python -m pytest
 
-.PHONY: test bench bench-micro bench-macro trace-demo
+.PHONY: test lint bench bench-micro bench-macro trace-demo
 
 test:
 	$(PYTEST) -x -q tests
+
+# Static analysis gate (see DEVELOPMENT.md).  repro-lint (the in-tree
+# determinism/layering/recorder-discipline checker) always runs; mypy and
+# ruff run when installed and are skipped with a notice otherwise, so the
+# target works in offline environments with only the runtime deps.
+lint:
+	PYTHONPATH=src python -m repro.analysis src/repro --src-root src
+	@if python -c "import mypy" 2>/dev/null; then \
+		python -m mypy; \
+	else \
+		echo "lint: mypy not installed; skipping (pip install -e '.[lint]')"; \
+	fi
+	@if python -c "import ruff" 2>/dev/null; then \
+		python -m ruff check src tests benchmarks; \
+	else \
+		echo "lint: ruff not installed; skipping (pip install -e '.[lint]')"; \
+	fi
 
 # Statistical micro-benchmarks of the per-request hot operations.  Medians
 # land in benchmarks/results/BENCH_micro.json (operation -> seconds); the

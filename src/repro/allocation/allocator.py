@@ -34,7 +34,7 @@ from typing import Dict, List, Optional, Tuple
 
 from repro.model.component import Component
 from repro.model.component_graph import ComponentGraph
-from repro.model.resources import ResourceVector
+from repro.model.resources import ResourceSchema, ResourceVector
 from repro.topology.overlay import OverlayNetwork
 from repro.topology.routing import OverlayRouter
 
@@ -62,7 +62,7 @@ class _TransientLedger:
     #: (component_id) -> (node_id, amount) actually held on the node
     holdings: Dict[int, Tuple[int, ResourceVector]] = field(default_factory=dict)
 
-    def amount_on_node(self, node_id: int, schema) -> ResourceVector:
+    def amount_on_node(self, node_id: int, schema: ResourceSchema) -> ResourceVector:
         """Total transiently-held resources on one node."""
         total = self.amount_on_node_or_none(node_id)
         return ResourceVector.zero(schema) if total is None else total
@@ -86,7 +86,7 @@ class ResourceAllocator:
         network: OverlayNetwork,
         router: OverlayRouter,
         transient_timeout_s: float = 10.0,
-    ):
+    ) -> None:
         if transient_timeout_s <= 0.0:
             raise ValueError(f"timeout must be positive, got {transient_timeout_s}")
         self.network = network

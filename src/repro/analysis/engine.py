@@ -1,0 +1,127 @@
+"""File walking, per-file dispatch, suppression filtering.
+
+:func:`lint_paths` is the single entry point both the CLI and the
+self-tests use.  Given files and/or directories it:
+
+1. collects ``*.py`` files (sorted, so output order is deterministic —
+   the linter holds itself to its own rules);
+2. parses each file once and runs the per-file rule families
+   (determinism, recorder discipline);
+3. derives each file's dotted module name relative to ``src_root`` and
+   feeds the cross-file import edges to the layering check;
+4. filters everything through ``# repro-lint: disable=...`` line
+   suppressions.
+
+Module names matter: the wall-clock allowlist, hot-path matching, and
+the layer DAG are all keyed on ``repro.<package>...`` names, so a file
+outside ``src_root`` (or with no ``src_root`` given) gets only the
+location-independent determinism checks.
+"""
+
+from __future__ import annotations
+
+import ast
+import os
+from dataclasses import dataclass, field
+from typing import Iterable, List, Optional, Sequence
+
+from repro.analysis.determinism import check_determinism
+from repro.analysis.layering import ImportEdge, check_layering, collect_import_edges
+from repro.analysis.recorder_discipline import check_recorder_discipline
+from repro.analysis.violations import (
+    Violation,
+    apply_suppressions,
+    parse_suppressions,
+)
+
+
+@dataclass
+class LintResult:
+    """Everything one lint run produced."""
+
+    violations: List[Violation] = field(default_factory=list)
+    files_checked: int = 0
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations
+
+    def formatted(self) -> str:
+        return "\n".join(v.format() for v in sorted(self.violations))
+
+
+def iter_python_files(paths: Sequence[str]) -> List[str]:
+    """Expand files/directories into a sorted, de-duplicated file list."""
+    found = set()
+    for path in paths:
+        if os.path.isdir(path):
+            for dirpath, dirnames, filenames in os.walk(path):
+                dirnames.sort()
+                dirnames[:] = [d for d in dirnames if d != "__pycache__"]
+                for filename in filenames:
+                    if filename.endswith(".py"):
+                        found.add(os.path.join(dirpath, filename))
+        elif path.endswith(".py"):
+            found.add(path)
+    return sorted(found)
+
+
+def module_name(path: str, src_root: Optional[str]) -> Optional[str]:
+    """Dotted module for ``path`` relative to ``src_root``, or None."""
+    if src_root is None:
+        return None
+    relative = os.path.relpath(os.path.abspath(path), os.path.abspath(src_root))
+    if relative.startswith(".."):
+        return None
+    parts = relative.split(os.sep)
+    parts[-1] = parts[-1][: -len(".py")]
+    if parts[-1] == "__init__":
+        parts.pop()
+    if not parts or any(not part.isidentifier() for part in parts):
+        return None
+    return ".".join(parts)
+
+
+def lint_paths(
+    paths: Iterable[str], src_root: Optional[str] = None
+) -> LintResult:
+    """Lint every ``*.py`` under ``paths``; see the module docstring."""
+    result = LintResult()
+    edges: List[ImportEdge] = []
+    for path in iter_python_files(list(paths)):
+        result.files_checked += 1
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                source = handle.read()
+            tree = ast.parse(source, filename=path)
+        except (SyntaxError, ValueError, OSError) as error:
+            line = getattr(error, "lineno", None) or 1
+            result.violations.append(
+                Violation(path, line, 1, "PAR001", f"does not parse: {error}")
+            )
+            continue
+        module = module_name(path, src_root)
+        file_violations = check_determinism(path, tree, module)
+        file_violations += check_recorder_discipline(path, tree, module)
+        if module is not None:
+            edges.extend(collect_import_edges(path, tree, module))
+        result.violations.extend(
+            apply_suppressions(file_violations, parse_suppressions(source))
+        )
+
+    layering = check_layering(edges)
+    if layering:
+        # layer violations honour suppressions on their import lines too
+        by_path: dict = {}
+        for violation in layering:
+            by_path.setdefault(violation.path, []).append(violation)
+        for path, group in by_path.items():
+            try:
+                with open(path, "r", encoding="utf-8") as handle:
+                    suppressions = parse_suppressions(handle.read())
+            except OSError:
+                suppressions = {}
+            result.violations.extend(apply_suppressions(group, suppressions))
+
+    result.violations.sort()
+    return result

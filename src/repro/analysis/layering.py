@@ -1,0 +1,234 @@
+"""Layering rules: the declared package DAG and its enforcement.
+
+The architecture is a strict stack — a package may import only packages
+on *lower* ranks (never its own rank, never above):
+
+====  =======================================
+rank  packages
+====  =======================================
+0     ``model``
+1     ``topology``
+2     ``state``, ``discovery``
+3     ``allocation``, ``placement``
+4     ``core``
+5     ``middleware``
+6     ``simulation``
+7     ``experiments``
+8     ``cli``
+====  =======================================
+
+Two sidecars sit outside the stack: ``observability`` may be imported by
+every ranked package but imports none of them, and ``analysis`` (this
+tool) neither imports nor is imported by anything at runtime.
+
+==========  ==========================================================
+code        what it flags
+==========  ==========================================================
+``LAY201``  an upward or same-rank import (including any runtime
+            import *into* ``analysis`` or *out of* ``observability``)
+``LAY202``  an import cycle between packages, printed as a chain
+``LAY203``  a package absent from the declared DAG — extending the
+            tree means declaring where the new package sits
+==========  ==========================================================
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, List, Optional, Tuple
+
+from repro.analysis.violations import Violation
+
+#: the declared stack: package → rank (imports must strictly descend)
+LAYERS: Dict[str, int] = {
+    "model": 0,
+    "topology": 1,
+    "state": 2,
+    "discovery": 2,
+    "allocation": 3,
+    "placement": 3,
+    "core": 4,
+    "middleware": 5,
+    "simulation": 6,
+    "experiments": 7,
+    "cli": 8,
+}
+
+#: importable by every ranked package; imports no ranked package
+UNIVERSAL_PACKAGES = frozenset({"observability"})
+
+#: imports nothing at runtime and nothing imports it (build tooling)
+TOOL_PACKAGES = frozenset({"analysis"})
+
+ROOT_PACKAGE = "repro"
+
+
+class ImportEdge:
+    """One ``repro.*`` import statement, located for reporting."""
+
+    __slots__ = ("source", "target", "path", "line", "col")
+
+    def __init__(self, source: str, target: str, path: str, line: int, col: int) -> None:
+        self.source = source
+        self.target = target
+        self.path = path
+        self.line = line
+        self.col = col
+
+
+def top_package(module: str) -> Optional[str]:
+    """``repro.core.prober`` → ``core``; ``repro`` itself → None."""
+    parts = module.split(".")
+    if len(parts) < 2 or parts[0] != ROOT_PACKAGE:
+        return None
+    return parts[1]
+
+
+def collect_import_edges(
+    path: str, tree: ast.Module, module: str
+) -> List[ImportEdge]:
+    """Every cross-package ``repro.*`` import in one module."""
+    source = top_package(module)
+    if source is None:
+        return []
+    edges: List[ImportEdge] = []
+
+    def add(target_module: str, node: ast.stmt) -> None:
+        target = top_package(target_module)
+        if target is not None and target != source:
+            edges.append(
+                ImportEdge(source, target, path, node.lineno, node.col_offset + 1)
+            )
+
+    for node in ast.walk(tree):
+        if isinstance(node, ast.ImportFrom):
+            if node.level:  # relative import: resolve against this module
+                base = module.split(".")[: -node.level]
+                absolute = ".".join(base + ([node.module] if node.module else []))
+                add(absolute, node)
+            elif node.module is not None and node.module.startswith(ROOT_PACKAGE):
+                if node.module == ROOT_PACKAGE:
+                    # ``from repro import core`` — each alias is a package
+                    for alias in node.names:
+                        add(f"{ROOT_PACKAGE}.{alias.name}", node)
+                else:
+                    add(node.module, node)
+        elif isinstance(node, ast.Import):
+            for alias in node.names:
+                if alias.name.startswith(ROOT_PACKAGE + "."):
+                    add(alias.name, node)
+    return edges
+
+
+def check_layering(edges: List[ImportEdge]) -> List[Violation]:
+    """LAY201/LAY202/LAY203 over the collected cross-package edges."""
+    violations: List[Violation] = []
+    known = set(LAYERS) | UNIVERSAL_PACKAGES | TOOL_PACKAGES
+    flagged_unknown = set()
+
+    for edge in edges:
+        for package in (edge.source, edge.target):
+            if package not in known and (edge.path, package) not in flagged_unknown:
+                flagged_unknown.add((edge.path, package))
+                violations.append(
+                    Violation(
+                        edge.path,
+                        edge.line,
+                        edge.col,
+                        "LAY203",
+                        f"package '{package}' is not in the declared layer "
+                        "DAG — add it to repro.analysis.layering.LAYERS",
+                    )
+                )
+        violation = _edge_violation(edge)
+        if violation is not None:
+            violations.append(violation)
+
+    violations.extend(_cycle_violations(edges))
+    return violations
+
+
+def _edge_violation(edge: ImportEdge) -> Optional[Violation]:
+    source, target = edge.source, edge.target
+    if target in UNIVERSAL_PACKAGES:
+        return None  # observability is importable from anywhere
+    if source in TOOL_PACKAGES:
+        return _lay201(
+            edge,
+            f"tool package '{source}' must not import runtime package "
+            f"'{target}'",
+        )
+    if source in UNIVERSAL_PACKAGES:
+        return _lay201(
+            edge,
+            f"'{source}' must stay import-free of the stack but imports "
+            f"'{target}'",
+        )
+    if target in TOOL_PACKAGES:
+        return _lay201(
+            edge, f"runtime package '{source}' must not import tool '{target}'"
+        )
+    source_rank = LAYERS.get(source)
+    target_rank = LAYERS.get(target)
+    if source_rank is None or target_rank is None:
+        return None  # LAY203 already reported the unknown package
+    if target_rank >= source_rank:
+        direction = "same-rank" if target_rank == source_rank else "upward"
+        return _lay201(
+            edge,
+            f"{direction} import: '{source}' (rank {source_rank}) must not "
+            f"import '{target}' (rank {target_rank})",
+        )
+    return None
+
+
+def _lay201(edge: ImportEdge, message: str) -> Violation:
+    return Violation(edge.path, edge.line, edge.col, "LAY201", message)
+
+
+def _cycle_violations(edges: List[ImportEdge]) -> List[Violation]:
+    """Detect package-level cycles and print one offending chain each."""
+    graph: Dict[str, Dict[str, ImportEdge]] = {}
+    for edge in edges:
+        graph.setdefault(edge.source, {}).setdefault(edge.target, edge)
+
+    violations: List[Violation] = []
+    reported: set = set()
+    state: Dict[str, int] = {}  # 0 absent, 1 on stack, 2 done
+    stack: List[str] = []
+
+    def visit(package: str) -> None:
+        state[package] = 1
+        stack.append(package)
+        for target in sorted(graph.get(package, ())):
+            if state.get(target, 0) == 1:
+                chain = stack[stack.index(target) :] + [target]
+                key = frozenset(chain)
+                if key not in reported:
+                    reported.add(key)
+                    edge = graph[package][target]
+                    violations.append(
+                        Violation(
+                            edge.path,
+                            edge.line,
+                            edge.col,
+                            "LAY202",
+                            "import cycle between packages: "
+                            + " -> ".join(chain),
+                        )
+                    )
+            elif state.get(target, 0) == 0:
+                visit(target)
+        stack.pop()
+        state[package] = 2
+
+    for package in sorted(graph):
+        if state.get(package, 0) == 0:
+            visit(package)
+    return violations
+
+
+def declared_dag_rows() -> List[Tuple[int, str]]:
+    """(rank, package) rows for documentation and ``--layers`` output."""
+    rows = sorted((rank, package) for package, rank in LAYERS.items())
+    return rows

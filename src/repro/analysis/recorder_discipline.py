@@ -1,0 +1,183 @@
+"""Recorder-discipline rule: hot paths pay for tracing only when it is on.
+
+The observability layer's contract (PR 3) is that the *disabled* trace
+path costs one predictable branch — ``benchmarks/
+test_observability_overhead.py`` bounds it at ≤ 5 % of a composition.
+That only holds if every recorder call on a hot path sits behind an
+``enabled`` check, so argument construction (f-strings, dict packing,
+len() calls) is skipped when nobody is tracing.
+
+==========  ==========================================================
+code        what it flags
+==========  ==========================================================
+``REC301``  a ``recorder.emit/inc/observe/set_gauge/record`` call in a
+            hot-path module that is neither (a) inside an ``if`` whose
+            test reads ``.enabled`` (directly or via a local alias like
+            ``observing = recorder.enabled``) nor (b) preceded, in the
+            same block, by an early exit of the form
+            ``if not <enabled-flag>: return/continue/raise``.
+==========  ==========================================================
+
+Hot-path modules are the per-request compose machinery: everything in
+``repro.core`` plus ``repro.topology.routing``.  Cold paths (setup,
+reporting, the simulator's once-per-window bookkeeping) may call the
+recorder unguarded — the no-op methods are cheap enough there.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, List, Optional, Set
+
+from repro.analysis.violations import Violation
+
+#: modules whose recorder calls must be guarded
+HOT_PATH_PACKAGES = frozenset({"repro.core"})
+HOT_PATH_MODULES = frozenset({"repro.topology.routing"})
+
+_RECORD_METHODS = frozenset({"emit", "inc", "observe", "set_gauge", "record"})
+_RECORDER_NAMES = frozenset({"recorder", "_recorder"})
+_EARLY_EXITS = (ast.Return, ast.Raise, ast.Continue, ast.Break)
+
+
+def is_hot_path(module: Optional[str]) -> bool:
+    """True when ``module`` carries the guarded-recorder requirement."""
+    if module is None:
+        return False
+    if module in HOT_PATH_MODULES:
+        return True
+    return any(
+        module == package or module.startswith(package + ".")
+        for package in HOT_PATH_PACKAGES
+    )
+
+
+def _is_recorder_chain(node: ast.expr) -> bool:
+    """``recorder`` / ``self.recorder`` / ``context.recorder`` etc."""
+    if isinstance(node, ast.Name):
+        return node.id in _RECORDER_NAMES
+    if isinstance(node, ast.Attribute):
+        return node.attr in _RECORDER_NAMES
+    return False
+
+
+def _mentions_enabled(node: ast.expr, aliases: Set[str]) -> bool:
+    """Does a test expression read ``.enabled`` or a known alias of it?"""
+    for child in ast.walk(node):
+        if isinstance(child, ast.Attribute) and child.attr == "enabled":
+            return True
+        if isinstance(child, ast.Name) and child.id in aliases:
+            return True
+    return False
+
+
+class RecorderDisciplineChecker:
+    """Runs REC301 over one hot-path module."""
+
+    def __init__(self, path: str, tree: ast.Module) -> None:
+        self.path = path
+        self.tree = tree
+        self.violations: List[Violation] = []
+        self._parents: Dict[int, ast.AST] = {}
+        self._aliases: Set[str] = set()
+
+    def run(self) -> List[Violation]:
+        for parent in ast.walk(self.tree):
+            for child in ast.iter_child_nodes(parent):
+                self._parents[id(child)] = parent
+        for node in ast.walk(self.tree):
+            if isinstance(node, ast.Assign) and isinstance(
+                node.value, ast.Attribute
+            ):
+                if node.value.attr == "enabled":
+                    for target in node.targets:
+                        if isinstance(target, ast.Name):
+                            self._aliases.add(target.id)
+        for node in ast.walk(self.tree):
+            if (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Attribute)
+                and node.func.attr in _RECORD_METHODS
+                and _is_recorder_chain(node.func.value)
+            ):
+                if not self._is_guarded(node):
+                    self.violations.append(
+                        Violation(
+                            self.path,
+                            node.lineno,
+                            node.col_offset + 1,
+                            "REC301",
+                            f"unguarded recorder.{node.func.attr}() on a hot "
+                            "path — branch on `.enabled` (or an early "
+                            "`if not <enabled>: return`) first",
+                        )
+                    )
+        return self.violations
+
+    # -- guard detection ----------------------------------------------------
+
+    def _is_guarded(self, call: ast.Call) -> bool:
+        node: ast.AST = call
+        while True:
+            parent = self._parents.get(id(node))
+            if parent is None:
+                return False
+            if isinstance(parent, ast.If) and _mentions_enabled(
+                parent.test, self._aliases
+            ):
+                return True
+            if isinstance(
+                parent, (ast.FunctionDef, ast.AsyncFunctionDef)
+            ) and self._has_early_exit_guard(parent, node):
+                return True
+            if self._statement_list_guard(parent, node):
+                return True
+            node = parent
+
+    def _statement_list_guard(self, parent: ast.AST, node: ast.AST) -> bool:
+        """An earlier ``if not <enabled>: return`` in the enclosing block."""
+        for field in ("body", "orelse", "finalbody"):
+            block = getattr(parent, field, None)
+            if not isinstance(block, list) or node not in block:
+                continue
+            index = block.index(node)
+            for statement in block[:index]:
+                if (
+                    isinstance(statement, ast.If)
+                    and isinstance(statement.test, ast.UnaryOp)
+                    and isinstance(statement.test.op, ast.Not)
+                    and _mentions_enabled(statement.test.operand, self._aliases)
+                    and statement.body
+                    and isinstance(statement.body[-1], _EARLY_EXITS)
+                ):
+                    return True
+        return False
+
+    def _has_early_exit_guard(self, function: ast.AST, upto: ast.AST) -> bool:
+        """The function opens with ``if not <enabled>: return`` before
+        the statement containing the call."""
+        body = function.body
+        if upto in body:
+            boundary = body.index(upto)
+        else:
+            boundary = len(body)
+        for statement in body[:boundary]:
+            if (
+                isinstance(statement, ast.If)
+                and isinstance(statement.test, ast.UnaryOp)
+                and isinstance(statement.test.op, ast.Not)
+                and _mentions_enabled(statement.test.operand, self._aliases)
+                and statement.body
+                and isinstance(statement.body[-1], _EARLY_EXITS)
+            ):
+                return True
+        return False
+
+
+def check_recorder_discipline(
+    path: str, tree: ast.Module, module: Optional[str]
+) -> List[Violation]:
+    """All REC3xx violations for one parsed module (hot paths only)."""
+    if not is_hot_path(module):
+        return []
+    return RecorderDisciplineChecker(path, tree).run()

@@ -1,0 +1,45 @@
+"""The rule catalog: code → one-line description.
+
+Kept as data (not docstrings) so the CLI's ``--list-rules``, the tests,
+and DEVELOPMENT.md can all enumerate the same source of truth.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+ALL_RULES: Dict[str, str] = {
+    "DET101": (
+        "process-global RNG use: random.<draw>() module calls, imports of "
+        "module-level draws, unseeded Random()/default_rng(), the random "
+        "module passed as an RNG object"
+    ),
+    "DET102": (
+        "wall-clock read (time.time/perf_counter/monotonic, datetime.now "
+        "family) outside repro.observability.recorder"
+    ),
+    "DET103": (
+        "statically set-typed (or dict.keys()) expression feeding an "
+        "ordering-sensitive sink without sorted(...)"
+    ),
+    "LAY201": (
+        "upward or same-rank import against the declared layer DAG "
+        "(including imports out of observability or into analysis)"
+    ),
+    "LAY202": "import cycle between top-level packages (chain printed)",
+    "LAY203": "top-level package missing from the declared layer DAG",
+    "REC301": (
+        "recorder.emit/inc/observe/set_gauge call on a hot path "
+        "(repro.core, repro.topology.routing) without an `.enabled` guard"
+    ),
+    "PAR001": "file does not parse (reported so CI cannot skip broken files)",
+}
+
+
+def rule_catalog() -> str:
+    """Human-readable rule listing for ``--list-rules``."""
+    width = max(len(code) for code in ALL_RULES)
+    return "\n".join(
+        f"{code.ljust(width)}  {description}"
+        for code, description in sorted(ALL_RULES.items())
+    )

@@ -1,0 +1,96 @@
+"""Violation records and the inline suppression syntax.
+
+A violation pins one rule code to one source line.  Suppressions are
+trailing comments on the *flagged* line, or — when the line has no room —
+a comment-only line directly above it::
+
+    for node_id in dirty:  # repro-lint: disable=DET103 -- patch order is commutative
+
+    # repro-lint: disable=DET103 -- feeds .any() only; order unobservable
+    np.fromiter(dirty, dtype=np.int64)
+
+Everything after ``--`` is free-form justification.  Multiple codes
+separate with commas (``disable=DET103,REC301``); ``disable=all``
+silences every rule on that line.  Suppressions are deliberately
+line-scoped — there is no file- or block-level off switch, so every
+exception stays next to the code it excuses.
+"""
+
+from __future__ import annotations
+
+import io
+import re
+import tokenize
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, List
+
+
+@dataclass(frozen=True, order=True)
+class Violation:
+    """One rule violation at one source location."""
+
+    path: str
+    line: int
+    col: int
+    code: str
+    message: str
+
+    def format(self) -> str:
+        """pyflakes-style ``path:line:col: CODE message`` line."""
+        return f"{self.path}:{self.line}:{self.col}: {self.code} {self.message}"
+
+
+_SUPPRESS_RE = re.compile(
+    r"#\s*repro-lint:\s*disable=([A-Za-z0-9_,\s]+?)(?:\s*(?:--|$))"
+)
+
+#: sentinel code meaning "every rule" in a suppression set
+SUPPRESS_ALL = "ALL"
+
+
+def parse_suppressions(source: str) -> Dict[int, FrozenSet[str]]:
+    """Map line number → rule codes suppressed on that line.
+
+    Tokenizes rather than regex-scanning raw lines so a suppression
+    marker inside a string literal is not honoured.
+    """
+    suppressions: Dict[int, FrozenSet[str]] = {}
+    lines = source.splitlines()
+    try:
+        tokens = tokenize.generate_tokens(io.StringIO(source).readline)
+        for token in tokens:
+            if token.type != tokenize.COMMENT:
+                continue
+            match = _SUPPRESS_RE.search(token.string)
+            if match is None:
+                continue
+            codes = frozenset(
+                code.strip().upper()
+                for code in match.group(1).split(",")
+                if code.strip()
+            )
+            if not codes:
+                continue
+            line = token.start[0]
+            # a comment-only line shields the line below it
+            if line <= len(lines) and lines[line - 1].lstrip().startswith("#"):
+                line += 1
+            suppressions[line] = codes | suppressions.get(line, frozenset())
+    except tokenize.TokenError:
+        pass  # a syntactically broken file reports a parse violation instead
+    return suppressions
+
+
+def apply_suppressions(
+    violations: List[Violation], suppressions: Dict[int, FrozenSet[str]]
+) -> List[Violation]:
+    """Drop violations whose line carries a matching suppression."""
+    kept: List[Violation] = []
+    for violation in violations:
+        codes = suppressions.get(violation.line)
+        if codes is not None and (
+            SUPPRESS_ALL in codes or violation.code in codes
+        ):
+            continue
+        kept.append(violation)
+    return kept

@@ -84,7 +84,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     commands = parser.add_subparsers(dest="command", required=True)
 
-    def add_command(name, help_text):
+    def add_command(name: str, help_text: str) -> argparse.ArgumentParser:
         return commands.add_parser(name, help=help_text, parents=[common])
 
     fig5a = add_command("fig5a", "success vs probing ratio by load")

@@ -41,7 +41,7 @@ class ACPComposer(ProbingComposer):
         probing_ratio: float = 0.3,
         tuner: Optional[ProbingRatioTuner] = None,
         vectorized: bool = True,
-    ):
+    ) -> None:
         super().__init__(
             context,
             probing_ratio=probing_ratio,

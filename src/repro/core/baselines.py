@@ -43,7 +43,7 @@ class SelectiveProbingComposer(ProbingComposer):
         context: CompositionContext,
         probing_ratio: float = 0.3,
         vectorized: bool = True,
-    ):
+    ) -> None:
         super().__init__(
             context,
             probing_ratio=probing_ratio,
@@ -64,7 +64,7 @@ class RandomProbingComposer(ProbingComposer):
         context: CompositionContext,
         probing_ratio: float = 0.3,
         vectorized: bool = True,
-    ):
+    ) -> None:
         super().__init__(
             context,
             probing_ratio=probing_ratio,

@@ -35,7 +35,7 @@ class BoundedProbingComposer(ProbingComposer):
         context: CompositionContext,
         probe_budget_total: int = 12,
         vectorized: bool = True,
-    ):
+    ) -> None:
         if probe_budget_total < 1:
             raise ValueError(
                 f"probe_budget_total must be >= 1, got {probe_budget_total}"

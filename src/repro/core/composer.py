@@ -26,7 +26,7 @@ from __future__ import annotations
 import abc
 import random
 from dataclasses import dataclass, field
-from typing import Callable, Dict, Mapping, Optional, Tuple
+from typing import TYPE_CHECKING, Callable, Dict, Mapping, Optional, Sequence, Tuple
 
 from repro.allocation.allocator import ResourceAllocator
 from repro.discovery.registry import ComponentRegistry
@@ -36,10 +36,14 @@ from repro.model.component_graph import ComponentGraph
 from repro.model.qos import QoSVector
 from repro.model.qos_model import LoadDependentQoSModel
 from repro.model.request import StreamRequest
+from repro.model.resources import ResourceVector
 from repro.state.global_state import GlobalStateManager
 from repro.state.local_state import LocalStateProvider
 from repro.topology.overlay import OverlayNetwork
 from repro.topology.routing import OverlayRouter
+
+if TYPE_CHECKING:  # runtime import would cycle: fastscore builds on composer
+    from repro.core.fastscore import FastScorer
 
 
 @dataclass
@@ -65,9 +69,11 @@ class CompositionContext:
     #: how component QoS responds to host load (factors 0 = static QoS)
     qos_model: LoadDependentQoSModel = field(default_factory=LoadDependentQoSModel)
     #: lazily constructed vectorised scoring engine (see fast_scorer())
-    _fast_scorer: object = field(default=None, init=False, repr=False, compare=False)
+    _fast_scorer: Optional["FastScorer"] = field(
+        default=None, init=False, repr=False, compare=False
+    )
 
-    def fast_scorer(self):
+    def fast_scorer(self) -> "FastScorer":
         """The shared :class:`~repro.core.fastscore.FastScorer` for this
         context, created on first use.  Its caches are keyed on the
         registry/global-state/router epochs, so sharing one instance across
@@ -125,7 +131,7 @@ class CompositionOutcome:
 class CompositionEvaluator:
     """Precise-state qualification and ranking shared by all composers."""
 
-    def __init__(self, context: CompositionContext):
+    def __init__(self, context: CompositionContext) -> None:
         self.context = context
 
     # -- construction -----------------------------------------------------------
@@ -174,7 +180,7 @@ class CompositionEvaluator:
 
     # -- feasibility (Eqs. 3-5) -------------------------------------------------
 
-    def node_available(self, request: StreamRequest, node_id: int):
+    def node_available(self, request: StreamRequest, node_id: int) -> ResourceVector:
         """Precise availability, excluding the request's own reservations."""
         return self.context.allocator.available_excluding(
             request.request_id, node_id
@@ -216,7 +222,7 @@ class CompositionEvaluator:
         self,
         composition: ComponentGraph,
         _qos_memo: Optional[Dict[int, QoSVector]] = None,
-        _avail_memo: Optional[Dict[int, object]] = None,
+        _avail_memo: Optional[Dict[int, ResourceVector]] = None,
     ) -> Tuple[bool, Optional[str]]:
         """Eqs. 3–5 against precise state, with aggregate semantics.
 
@@ -265,8 +271,8 @@ class CompositionEvaluator:
         self,
         request: StreamRequest,
         node_id: int,
-        memo: Optional[Dict[int, object]],
-    ):
+        memo: Optional[Dict[int, ResourceVector]],
+    ) -> ResourceVector:
         if memo is None:
             return self.node_available(request, node_id)
         available = memo.get(node_id)
@@ -278,7 +284,7 @@ class CompositionEvaluator:
     def phi(
         self,
         composition: ComponentGraph,
-        _avail_memo: Optional[Dict[int, object]] = None,
+        _avail_memo: Optional[Dict[int, ResourceVector]] = None,
     ) -> float:
         """φ(λ) under precise state (live link bandwidth, pre-request
         node availability)."""
@@ -296,7 +302,7 @@ class CompositionEvaluator:
         )
 
     def qualify_and_rank(
-        self, compositions
+        self, compositions: Sequence[ComponentGraph]
     ) -> Tuple[Optional[ComponentGraph], Optional[float], list]:
         """Filter qualified compositions and return the φ-minimal one.
 
@@ -328,7 +334,7 @@ class Composer(abc.ABC):
     #: Short identifier used in reports and figures ("ACP", "Optimal", ...).
     name: str = "base"
 
-    def __init__(self, context: CompositionContext):
+    def __init__(self, context: CompositionContext) -> None:
         self.context = context
         self.evaluator = CompositionEvaluator(context)
 
@@ -342,7 +348,7 @@ class Composer(abc.ABC):
         return len(composition.request.function_graph)
 
     def _fail(
-        self, request: StreamRequest, reason: str, **counters
+        self, request: StreamRequest, reason: str, **counters: int
     ) -> CompositionOutcome:
         self.context.allocator.cancel_transient(request.request_id)
         recorder = self.context.recorder

@@ -44,7 +44,7 @@ only matter when a risk ratio lands exactly on a tie-bucket boundary.
 from __future__ import annotations
 
 import math
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import TYPE_CHECKING, Dict, FrozenSet, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -57,6 +57,10 @@ from repro.model.component import Component
 from repro.model.qos import MetricKind, QoSVector
 from repro.model.qos_model import LoadDependentQoSModel
 from repro.model.request import StreamRequest
+from repro.model.resources import ResourceVector
+
+if TYPE_CHECKING:  # runtime import would cycle: composer lazily imports us
+    from repro.core.composer import CompositionContext
 
 #: Loss values are clamped just below 1 before the additive transform,
 #: matching ``QoSVector.additive_values``.
@@ -90,7 +94,7 @@ class _CandidateTable:
         "stale_loss",
     )
 
-    def __init__(self, components: Sequence[Component], registry_version: int):
+    def __init__(self, components: Sequence[Component], registry_version: int) -> None:
         self.components: Tuple[Component, ...] = tuple(components)
         self.registry_version = registry_version
         k = len(self.components)
@@ -141,11 +145,14 @@ class _CandidateTable:
         self.stale_delay: Optional[np.ndarray] = None
         self.stale_loss: Optional[np.ndarray] = None
 
-    def required_attribute_mask(self, required) -> Optional[np.ndarray]:
+    def required_attribute_mask(
+        self, required: FrozenSet[str]
+    ) -> Optional[np.ndarray]:
         """Boolean qualification mask for demanded tags (None = all pass)."""
         if not required:
             return None
         bits = 0
+        # repro-lint: disable=DET103 -- bitwise-OR fold; iteration order is unobservable
         for tag in required:
             bit = self.attribute_bit.get(tag)
             if bit is None:
@@ -160,7 +167,7 @@ class _CandidateTable:
             return None
         return (self.input_format_bits & (1 << bit)) != 0
 
-    def ensure_stale(self, context) -> None:
+    def ensure_stale(self, context: "CompositionContext") -> None:
         """Refresh the coarse-grain availability matrix and the stale
         effective QoS arrays when the global state has published updates."""
         global_state = context.global_state
@@ -221,7 +228,7 @@ class LevelPool:
         accumulated_loss: np.ndarray,
         pre_delay: Optional[np.ndarray],
         pre_loss: Optional[np.ndarray],
-    ):
+    ) -> None:
         self._scorer = scorer
         self._table = table
         self._probes = probes
@@ -305,7 +312,7 @@ class LevelPool:
 class FastScorer:
     """Cross-request vectorised scoring engine bound to one context."""
 
-    def __init__(self, context):
+    def __init__(self, context: "CompositionContext") -> None:
         self.context = context
         self.schema = None
         self._tables: Dict[int, _CandidateTable] = {}
@@ -388,7 +395,7 @@ class FastScorer:
         candidates: Sequence[Component],
         function_index: int,
         predecessors: Tuple[int, ...],
-        requirement,
+        requirement: ResourceVector,
         input_rate: float,
         use_global_state: bool,
     ) -> LevelPool:

@@ -44,7 +44,7 @@ class OptimalComposer(Composer):
 
     name = "Optimal"
 
-    def __init__(self, context: CompositionContext, max_explored: int = 500_000):
+    def __init__(self, context: CompositionContext, max_explored: int = 500_000) -> None:
         super().__init__(context)
         if max_explored <= 0:
             raise ValueError(f"max_explored must be positive, got {max_explored}")

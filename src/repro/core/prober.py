@@ -37,8 +37,9 @@ RP  (random)      random        no              phi
 from __future__ import annotations
 
 import enum
-from time import perf_counter
 from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.observability.recorder import wall_clock as perf_counter
 
 from repro.core.composer import Composer, CompositionContext, CompositionOutcome
 from repro.core.probe import Probe, ProbeFactory
@@ -51,8 +52,10 @@ from repro.core.selection import (
     risk_value,
     select_best,
 )
+from repro.model.component import Component
 from repro.model.qos import QoSVector, elementwise_max
 from repro.model.request import StreamRequest
+from repro.model.resources import ResourceVector
 
 
 class HopSelectionPolicy(enum.Enum):
@@ -84,7 +87,7 @@ class ProbingComposer(Composer):
         ratio_provider: Optional[Callable[[], float]] = None,
         ranking_policy: RankingPolicy = RankingPolicy.RISK_THEN_CONGESTION,
         vectorized: bool = True,
-    ):
+    ) -> None:
         super().__init__(context)
         if not 0.0 < probing_ratio <= 1.0:
             raise ValueError(f"probing ratio must be in (0, 1], got {probing_ratio}")
@@ -295,9 +298,9 @@ class ProbingComposer(Composer):
         self,
         probe: Probe,
         function_index: int,
-        candidate,
+        candidate: Component,
         predecessors: Tuple[int, ...],
-        requirement,
+        requirement: ResourceVector,
         input_rate: float,
         stale_qos_memo: Dict[int, QoSVector],
         stale_bw_memo: Dict[Tuple[int, int], float],
@@ -421,7 +424,7 @@ class ProbingComposer(Composer):
         selected: List[ScoredCandidate],
         function_index: int,
         predecessors: Tuple[int, ...],
-        requirement,
+        requirement: ResourceVector,
     ) -> List[Probe]:
         """Send probes to selected candidates: precise on-arrival checks,
         transient reservation, state collection.  Returns surviving probes."""

@@ -144,7 +144,7 @@ def select_best(
     if limit <= 0:
         return []
 
-    def key(entry: ScoredCandidate):
+    def key(entry: ScoredCandidate) -> Tuple[float, ...]:
         if ranking is RankingPolicy.RISK_ONLY:
             return (entry.risk, entry.candidate.component_id)
         if ranking is RankingPolicy.CONGESTION_ONLY:

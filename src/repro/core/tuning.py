@@ -66,7 +66,7 @@ class ProbingRatioTuner:
         smoothing: float = 0.5,
         gain: float = 1.0,
         recorder: Recorder = NULL_RECORDER,
-    ):
+    ) -> None:
         if not 0.0 < target_success_rate <= 1.0:
             raise ValueError(f"target must be in (0, 1], got {target_success_rate}")
         if not 0.0 < base_ratio <= max_ratio <= 1.0:

@@ -39,7 +39,7 @@ class PIDRatioTuner:
         base_ratio: float = 0.1,
         max_ratio: float = 1.0,
         integral_limit: float = 1.0,
-    ):
+    ) -> None:
         if not 0.0 < target_success_rate <= 1.0:
             raise ValueError(f"target must be in (0, 1], got {target_success_rate}")
         if not 0.0 < base_ratio <= max_ratio <= 1.0:

@@ -82,7 +82,7 @@ class ComponentDeployer:
         catalog: FunctionCatalog,
         profile: DeploymentProfile = DeploymentProfile(),
         qos_schema: QoSSchema = DEFAULT_QOS_SCHEMA,
-    ):
+    ) -> None:
         self.catalog = catalog
         self.profile = profile
         self.qos_schema = qos_schema
@@ -134,7 +134,9 @@ class ComponentDeployer:
         ``components_per_node``; the first ``len(catalog)`` instances cover
         every function once (on distinct nodes where possible).
         """
-        rng = rng or random.Random()
+        # explicit fixed seed when the caller doesn't care about the stream;
+        # never the process-global RNG, so builds replay byte-identically
+        rng = rng if rng is not None else random.Random(0)
         registry = ComponentRegistry()
         per_node_quota = {
             node.node_id: rng.randint(*self.profile.components_per_node)

@@ -24,7 +24,7 @@ from repro.model.functions import StreamFunction
 class ComponentRegistry:
     """Function → deployed candidate components lookup."""
 
-    def __init__(self, components: Iterable[Component] = ()):
+    def __init__(self, components: Iterable[Component] = ()) -> None:
         self._by_function: Dict[int, List[Component]] = {}
         self._by_id: Dict[int, Component] = {}
         #: monotone deployment epoch, bumped by register/replace; consumers

@@ -78,7 +78,7 @@ class SessionManager:
         allocator: ResourceAllocator,
         clock: Callable[[], float] = lambda: 0.0,
         recorder: Recorder = NULL_RECORDER,
-    ):
+    ) -> None:
         self.composer = composer
         self.allocator = allocator
         self.clock = clock

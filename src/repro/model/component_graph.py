@@ -66,7 +66,7 @@ class ComponentGraph:
         request: StreamRequest,
         assignment: Mapping[int, Component],
         links: Mapping[Tuple[int, int], VirtualLinkPath],
-    ):
+    ) -> None:
         graph = request.function_graph
         if set(assignment) != set(range(len(graph))):
             raise ValueError(

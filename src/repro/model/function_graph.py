@@ -56,7 +56,7 @@ class FunctionGraph:
         self,
         functions: Sequence[StreamFunction],
         edges: Iterable[Tuple[int, int]],
-    ):
+    ) -> None:
         self._nodes: Tuple[FunctionNode, ...] = tuple(
             FunctionNode(index, function) for index, function in enumerate(functions)
         )

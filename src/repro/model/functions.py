@@ -29,7 +29,7 @@ pre-defined functions across the categories named in the paper's examples.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, FrozenSet, List, Sequence, Tuple
+from typing import Dict, FrozenSet, Iterator, List, Sequence, Tuple
 
 #: (category, base selectivity) pairs used to generate the default catalog.
 #: Selectivity is the output-rate / input-rate ratio of the function.
@@ -132,7 +132,7 @@ class FunctionCatalog:
     def __len__(self) -> int:
         return len(self._functions)
 
-    def __iter__(self):
+    def __iter__(self) -> Iterator[StreamFunction]:
         return iter(self._functions)
 
     def __getitem__(self, function_id: int) -> StreamFunction:

@@ -48,7 +48,7 @@ class Node:
         "_alive",
     )
 
-    def __init__(self, node_id: int, router_id: int, capacity: ResourceVector):
+    def __init__(self, node_id: int, router_id: int, capacity: ResourceVector) -> None:
         self.node_id = node_id
         self.router_id = router_id
         self.capacity = capacity

@@ -62,7 +62,7 @@ class QoSSchema:
 
     __slots__ = ("_specs", "_names", "_kinds", "_index")
 
-    def __init__(self, specs: Iterable[MetricSpec]):
+    def __init__(self, specs: Iterable[MetricSpec]) -> None:
         self._specs: Tuple[MetricSpec, ...] = tuple(specs)
         names = [spec.name for spec in self._specs]
         if len(set(names)) != len(names):
@@ -136,7 +136,7 @@ class QoSVector:
 
     __slots__ = ("_schema", "_values")
 
-    def __init__(self, schema: QoSSchema, values: Sequence[float]):
+    def __init__(self, schema: QoSSchema, values: Sequence[float]) -> None:
         values = tuple(map(float, values))
         if len(values) != len(schema):
             raise ValueError(

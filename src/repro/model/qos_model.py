@@ -80,7 +80,12 @@ class LoadDependentQoSModel:
             return QoSVector._raw(schema, (delay, loss))
         return QoSVector(schema, [delay, loss])
 
-    def effective_qos_arrays(self, base_delay, base_loss, utilization):
+    def effective_qos_arrays(
+        self,
+        base_delay: np.ndarray,
+        base_loss: np.ndarray,
+        utilization: np.ndarray,
+    ) -> Tuple[np.ndarray, np.ndarray]:
         """Vectorised :meth:`effective_qos` over candidate arrays.
 
         ``base_delay``/``base_loss``/``utilization`` are parallel NumPy

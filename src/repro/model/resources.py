@@ -33,7 +33,7 @@ class ResourceSchema:
 
     __slots__ = ("_specs", "_names")
 
-    def __init__(self, specs: Iterable[ResourceSpec]):
+    def __init__(self, specs: Iterable[ResourceSpec]) -> None:
         self._specs: Tuple[ResourceSpec, ...] = tuple(specs)
         names = [spec.name for spec in self._specs]
         if len(set(names)) != len(names):
@@ -98,7 +98,7 @@ class ResourceVector:
 
     __slots__ = ("_schema", "_values")
 
-    def __init__(self, schema: ResourceSchema, values: Sequence[float]):
+    def __init__(self, schema: ResourceSchema, values: Sequence[float]) -> None:
         values = tuple(float(v) for v in values)
         if len(values) != len(schema):
             raise ValueError(

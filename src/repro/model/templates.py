@@ -54,7 +54,7 @@ class TemplateLibrary:
         path_length_range: Tuple[int, int] = (2, 5),
         dag_fraction: float = 0.5,
         seed: int = 0,
-    ):
+    ) -> None:
         if size <= 0:
             raise ValueError(f"library size must be positive, got {size}")
         low, high = path_length_range
@@ -110,9 +110,12 @@ class TemplateLibrary:
     def __getitem__(self, template_id: int) -> ApplicationTemplate:
         return self._templates[template_id]
 
-    def sample(self, rng: Optional[random.Random] = None) -> ApplicationTemplate:
-        """Uniformly random template (Section 4.1's request model)."""
-        rng = rng or random
+    def sample(self, rng: random.Random) -> ApplicationTemplate:
+        """Uniformly random template (Section 4.1's request model).
+
+        The caller must supply a seeded stream — the library never falls
+        back to process-global entropy, so same-seed runs replay exactly.
+        """
         return self._templates[rng.randrange(len(self._templates))]
 
     def functions_used(self) -> Tuple[StreamFunction, ...]:

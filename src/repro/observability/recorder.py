@@ -32,6 +32,12 @@ from typing import Callable, Dict, List, Optional, Tuple
 
 from repro.observability.registry import MetricsRegistry
 
+#: The process wall clock, re-exported so instrumentation outside this
+#: module imports it from here rather than from :mod:`time` — repro-lint
+#: (DET102) funnels every wall-clock read through this one module, which
+#: keeps profiling timers auditable and everything else on simulated time.
+wall_clock = perf_counter
+
 
 @dataclass(frozen=True)
 class TraceEvent:
@@ -53,7 +59,9 @@ class Recorder:
     #: False on the null recorder — hot paths branch on this.
     enabled: bool = False
 
-    def emit(self, kind: str, time: Optional[float] = None, **fields) -> None:
+    def emit(
+        self, kind: str, time: Optional[float] = None, **fields: object
+    ) -> None:
         """Record one structured event (timestamp defaults to the clock)."""
 
     def inc(self, name: str, amount: float = 1.0) -> None:
@@ -81,7 +89,7 @@ class _NullPhase:
     def __enter__(self) -> "_NullPhase":
         return self
 
-    def __exit__(self, *exc_info) -> None:
+    def __exit__(self, *exc_info: object) -> None:
         return None
 
 
@@ -93,7 +101,7 @@ class _PhaseTimer:
 
     __slots__ = ("_registry", "_name", "_start")
 
-    def __init__(self, registry: MetricsRegistry, name: str):
+    def __init__(self, registry: MetricsRegistry, name: str) -> None:
         self._registry = registry
         self._name = name
 
@@ -101,7 +109,7 @@ class _PhaseTimer:
         self._start = perf_counter()
         return self
 
-    def __exit__(self, *exc_info) -> None:
+    def __exit__(self, *exc_info: object) -> None:
         self._registry.histogram(self._name).observe(perf_counter() - self._start)
 
 
@@ -123,14 +131,16 @@ class TraceRecorder(Recorder):
 
     enabled = True
 
-    def __init__(self, clock: Optional[Callable[[], float]] = None):
+    def __init__(self, clock: Optional[Callable[[], float]] = None) -> None:
         self._events: List[TraceEvent] = []
         self._clock = clock
         self.registry = MetricsRegistry()
 
     # -- event capture ------------------------------------------------------
 
-    def emit(self, kind: str, time: Optional[float] = None, **fields) -> None:
+    def emit(
+        self, kind: str, time: Optional[float] = None, **fields: object
+    ) -> None:
         if time is None:
             time = self._clock() if self._clock is not None else 0.0
         self._events.append(TraceEvent(time, kind, fields))

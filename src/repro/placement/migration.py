@@ -83,7 +83,7 @@ class ComponentMigrationManager:
         registry: ComponentRegistry,
         policy: MigrationPolicy = MigrationPolicy(),
         period_s: float = 120.0,
-    ):
+    ) -> None:
         if period_s <= 0.0:
             raise ValueError(f"period must be positive, got {period_s}")
         self.network = network

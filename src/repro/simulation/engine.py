@@ -36,7 +36,7 @@ class ScheduledEvent:
         action: Callable[[], None],
         name: str,
         scheduler: "Optional[EventScheduler]" = None,
-    ):
+    ) -> None:
         self.time = time
         self.seq = seq
         self.action = action
@@ -66,7 +66,7 @@ class PeriodicTask:
 
     __slots__ = ("interval", "name", "cancelled", "_current")
 
-    def __init__(self, interval: float, name: str):
+    def __init__(self, interval: float, name: str) -> None:
         self.interval = interval
         self.name = name
         self.cancelled = False

@@ -57,7 +57,7 @@ class FailureInjector:
         max_concurrent_failures: Optional[int] = None,
         rng: Optional[random.Random] = None,
         recorder: Recorder = NULL_RECORDER,
-    ):
+    ) -> None:
         if not 0.0 <= fail_probability <= 1.0:
             raise ValueError(f"fail_probability must be in [0, 1]")
         if not 0.0 < recover_probability <= 1.0:
@@ -74,7 +74,9 @@ class FailureInjector:
             if max_concurrent_failures is not None
             else max(1, len(network) // 10)
         )
-        self.rng = rng or random.Random()
+        # explicit fixed seed when the caller doesn't supply a stream;
+        # never the process-global RNG, so churn schedules replay exactly
+        self.rng = rng if rng is not None else random.Random(0)
         self.recorder = recorder
         self._down: Set[int] = set()
         self._events: List[FailureEvent] = []

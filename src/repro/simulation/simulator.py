@@ -45,7 +45,7 @@ class StreamProcessingSimulator:
         migration: Optional[ComponentMigrationManager] = None,
         failures: Optional[FailureInjector] = None,
         recorder: Optional[Recorder] = None,
-    ):
+    ) -> None:
         if sampling_period_s <= 0.0:
             raise ValueError(f"sampling period must be positive: {sampling_period_s}")
         self.system = system

@@ -21,7 +21,7 @@ from __future__ import annotations
 import math
 import random
 from dataclasses import dataclass, replace
-from typing import Dict, Iterator, Tuple
+from typing import Dict, Iterable, Iterator, Tuple
 
 from repro.model.function_graph import FunctionGraph
 from repro.model.qos import DEFAULT_QOS_SCHEMA, QoSSchema, QoSVector
@@ -126,7 +126,7 @@ class WorkloadGenerator:
         qos_schema: QoSSchema = DEFAULT_QOS_SCHEMA,
         resource_schema: ResourceSchema = DEFAULT_RESOURCE_SCHEMA,
         seed: int = 0,
-    ):
+    ) -> None:
         self.templates = templates
         self.schedule = schedule
         self.qos_level = qos_level
@@ -230,7 +230,7 @@ class RecordingWorkload:
     :class:`ReplayWorkload`.
     """
 
-    def __init__(self, inner: WorkloadGenerator):
+    def __init__(self, inner: WorkloadGenerator) -> None:
         self.inner = inner
         self._trace: list = []
 
@@ -267,7 +267,9 @@ class ReplayWorkload:
     :meth:`horizon`).
     """
 
-    def __init__(self, trace, trace_start_s: float = 0.0):
+    def __init__(
+        self, trace: Iterable[StreamRequest], trace_start_s: float = 0.0
+    ) -> None:
         self._trace = list(trace)
         if not self._trace:
             raise ValueError("cannot replay an empty trace")

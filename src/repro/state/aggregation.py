@@ -53,7 +53,7 @@ class AggregationManager:
         global_state: GlobalStateManager,
         policy: RotationPolicy = RotationPolicy.ROUND_ROBIN,
         period_s: float = 600.0,
-    ):
+    ) -> None:
         if period_s <= 0.0:
             raise ValueError(f"period must be positive, got {period_s}")
         self.network = network

@@ -54,7 +54,7 @@ class GlobalStateManager:
         network: OverlayNetwork,
         threshold_fraction: float = 0.1,
         quantization_levels: Optional[int] = None,
-    ):
+    ) -> None:
         if not 0.0 <= threshold_fraction <= 1.0:
             raise ValueError(
                 f"threshold_fraction must be in [0, 1], got {threshold_fraction}"

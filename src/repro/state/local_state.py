@@ -34,7 +34,7 @@ class LocalStateView:
 
     __slots__ = ("_network", "_node_id", "_scope")
 
-    def __init__(self, network: OverlayNetwork, node_id: int):
+    def __init__(self, network: OverlayNetwork, node_id: int) -> None:
         self._network = network
         self._node_id = node_id
         self._scope = frozenset((node_id,) + network.neighbors(node_id))
@@ -87,7 +87,7 @@ class LocalStateView:
 class LocalStateProvider:
     """Factory of per-node local state views over one overlay network."""
 
-    def __init__(self, network: OverlayNetwork):
+    def __init__(self, network: OverlayNetwork) -> None:
         self._network = network
         self._views = {}
 

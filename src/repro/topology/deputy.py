@@ -25,7 +25,7 @@ from repro.topology.overlay import OverlayNetwork
 class DeputySelector:
     """Closest-overlay-node lookup for client attachment routers."""
 
-    def __init__(self, ip_network: IPNetwork, network: OverlayNetwork):
+    def __init__(self, ip_network: IPNetwork, network: OverlayNetwork) -> None:
         self.network = network
         routers = [node.router_id for node in network.nodes]
         #: shape (num_overlay_nodes, num_routers): delay from each overlay

@@ -24,7 +24,7 @@ from repro.topology.powerlaw import RouterGraph
 class IPNetwork:
     """Delay-based shortest-path routing over an IP router graph."""
 
-    def __init__(self, graph: RouterGraph):
+    def __init__(self, graph: RouterGraph) -> None:
         self.graph = graph
         n = graph.num_routers
         rows, cols, delays = [], [], []

@@ -21,7 +21,7 @@ queries; end-to-end *virtual links* (overlay paths) live in
 from __future__ import annotations
 
 import random
-from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Set, Tuple
 
 import numpy as np
 
@@ -62,7 +62,7 @@ class OverlayLink:
         loss_rate: float,
         capacity_kbps: float,
         qos_schema: QoSSchema = DEFAULT_QOS_SCHEMA,
-    ):
+    ) -> None:
         if node_a == node_b:
             raise ValueError(f"overlay link endpoints must differ, got {node_a}")
         if capacity_kbps <= 0.0:
@@ -145,7 +145,7 @@ class OverlayLink:
 class OverlayNetwork:
     """The overlay mesh: stream processing nodes plus overlay links."""
 
-    def __init__(self, nodes: Sequence[Node], links: Sequence[OverlayLink]):
+    def __init__(self, nodes: Sequence[Node], links: Sequence[OverlayLink]) -> None:
         self._nodes: Tuple[Node, ...] = tuple(nodes)
         for index, node in enumerate(self._nodes):
             if node.node_id != index:
@@ -241,7 +241,9 @@ def default_node_capacity_sampler(rng: random.Random) -> ResourceVector:
     )
 
 
-def _bridge_components(pairs, delays, num_nodes: int) -> None:
+def _bridge_components(
+    pairs: Set[Tuple[int, int]], delays: np.ndarray, num_nodes: int
+) -> None:
     """Make the k-nearest-neighbour mesh connected.
 
     Nearest-neighbour unions can leave clusters of mutually-close nodes
@@ -258,7 +260,7 @@ def _bridge_components(pairs, delays, num_nodes: int) -> None:
             x = parent[x]
         return x
 
-    for a, b in pairs:
+    for a, b in sorted(pairs):
         parent[find(a)] = find(b)
     components: Dict[int, List[int]] = {}
     for node in range(num_nodes):
@@ -292,7 +294,9 @@ def build_overlay_network(
     delay.  Overlay link delay is the IP shortest-path delay between the
     endpoints' routers; loss grows with delay; capacity is drawn uniformly.
     """
-    rng = rng or random.Random()
+    # explicit fixed seed when the caller doesn't care about the stream;
+    # never the process-global RNG, so builds replay byte-identically
+    rng = rng if rng is not None else random.Random(0)
     if num_nodes < 2:
         raise ValueError(f"need at least 2 overlay nodes, got {num_nodes}")
     if num_nodes > ip_network.num_routers:

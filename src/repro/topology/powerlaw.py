@@ -144,7 +144,7 @@ class PowerLawTopologyGenerator:
         bandwidth_range_kbps: Tuple[float, float] = (50_000.0, 200_000.0),
         loss_range: Tuple[float, float] = (0.0, 0.001),
         seed: int = 0,
-    ):
+    ) -> None:
         self.num_routers = num_routers
         self.exponent = exponent
         self.min_degree = min_degree
@@ -207,7 +207,7 @@ class PowerLawTopologyGenerator:
     ) -> Set[Tuple[int, int]]:
         """Bridge every component into the largest one with single links."""
         adjacency: Dict[int, List[int]] = {r: [] for r in range(self.num_routers)}
-        for a, b in edges:
+        for a, b in sorted(edges):
             adjacency[a].append(b)
             adjacency[b].append(a)
         unassigned = set(range(self.num_routers))

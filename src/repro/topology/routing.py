@@ -46,7 +46,7 @@ both choices are optimal.
 
 from __future__ import annotations
 
-from typing import Dict, Optional, Tuple
+from typing import Dict, Iterable, Optional, Tuple
 
 import numpy as np
 from scipy.sparse import csr_matrix
@@ -87,7 +87,7 @@ class _SourceTree:
         version: int,
         distances: np.ndarray,
         predecessors: np.ndarray,
-    ):
+    ) -> None:
         self.source = source
         self.version = version
         self.distances = distances
@@ -118,7 +118,7 @@ class OverlayRouter:
         network: OverlayNetwork,
         incremental: bool = True,
         recorder: Recorder = NULL_RECORDER,
-    ):
+    ) -> None:
         self.network = network
         self._incremental = incremental
         self.recorder = recorder
@@ -190,6 +190,7 @@ class OverlayRouter:
         n = len(self.network)
         if self._down_nodes:
             down = np.fromiter(
+                # repro-lint: disable=DET103 -- feeds np.isin masks only; element order is unobservable
                 self._down_nodes, dtype=np.int64, count=len(self._down_nodes)
             )
             keep = ~(np.isin(self._link_a, down) | np.isin(self._link_b, down))
@@ -299,7 +300,7 @@ class OverlayRouter:
     def down_nodes(self) -> frozenset:
         return self._down_nodes
 
-    def set_down_nodes(self, node_ids) -> None:
+    def set_down_nodes(self, node_ids: Iterable[int]) -> None:
         """Declare the set of crashed nodes and re-route around them.
 
         Incremental mode invalidates only the per-source trees the change
@@ -334,6 +335,7 @@ class OverlayRouter:
 
         changed_roots = newly_down | newly_up
         crashed = (
+            # repro-lint: disable=DET103 -- feeds tree.relay[...].any() only; element order is unobservable
             np.fromiter(newly_down, dtype=np.int64, count=len(newly_down))
             if newly_down
             else None
@@ -341,9 +343,10 @@ class OverlayRouter:
         # any new path via a recovered node enters it through one of its
         # neighbours, which must already be reachable from the source
         probe = set(newly_up)
-        for node_id in newly_up:
+        for node_id in newly_up:  # repro-lint: disable=DET103 -- accumulates into a set; order is unobservable
             probe.update(self.network.neighbors(node_id))
         recovered_probe = (
+            # repro-lint: disable=DET103 -- feeds tree.finite[...].any() only; element order is unobservable
             np.fromiter(probe, dtype=np.int64, count=len(probe)) if probe else None
         )
 
@@ -367,7 +370,7 @@ class OverlayRouter:
                 paths = self._path_cache.get(source)
                 qos = self._qos_cache.get(source)
                 tree_patched = False
-                for node_id in newly_down:
+                for node_id in sorted(newly_down):
                     if tree.finite[node_id]:
                         self._patch_unreachable(tree, node_id)
                         tree_patched = True

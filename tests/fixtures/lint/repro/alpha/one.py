@@ -1,0 +1,7 @@
+"""Fixture: half of an import cycle between undeclared packages."""
+
+import repro.beta.two  # line 3: cycle edge alpha -> beta
+
+
+def ping():
+    return repro.beta.two

@@ -1,0 +1,7 @@
+"""Fixture: the other half of the alpha <-> beta import cycle."""
+
+from repro.alpha import one  # line 3: cycle edge beta -> alpha
+
+
+def pong():
+    return one

@@ -1,0 +1,40 @@
+"""Fixture: every guard shape the recorder-discipline rule accepts."""
+
+
+def direct_guard(recorder, request):
+    if recorder.enabled:
+        recorder.emit("probe.start", request_id=request)
+    return request
+
+
+def alias_guard(recorder, items):
+    observing = recorder.enabled
+    if observing:
+        recorder.inc("probe.messages", len(items))
+    return items
+
+
+def early_return_guard(recorder, outcome):
+    if not recorder.enabled:
+        return outcome
+    recorder.observe("phase.compose", 0.5)
+    recorder.emit("probe.commit", phi=outcome)
+    return outcome
+
+
+def early_return_alias(recorder, outcome):
+    observing = recorder.enabled
+    if not observing:
+        return outcome
+    recorder.set_gauge("router.trees", 1)
+    return outcome
+
+
+class Tuner:
+    def __init__(self, recorder):
+        self.recorder = recorder
+
+    def decide(self, alpha):
+        if self.recorder.enabled:
+            self.recorder.emit("tuner.decision", alpha=alpha)
+        return alpha

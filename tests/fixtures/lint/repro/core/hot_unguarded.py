@@ -1,0 +1,17 @@
+"""Fixture: unguarded recorder traffic on a hot path (repro.core)."""
+
+
+def compose(recorder, request):
+    recorder.emit("probe.start", request_id=request)  # line 5: unguarded
+    result = request * 2
+    recorder.inc("probe.messages")  # line 7: unguarded
+    recorder.observe("phase.compose", 0.1)  # line 8: unguarded
+    return result
+
+
+class Router:
+    def __init__(self, recorder):
+        self.recorder = recorder
+
+    def churn(self):
+        self.recorder.set_gauge("router.trees", 3)  # line 17: unguarded

@@ -1,0 +1,7 @@
+"""Fixture: a package that never declared its place in the layer DAG."""
+
+from repro.model import component  # line 3: 'mystery' is not in LAYERS
+
+
+def peek():
+    return component

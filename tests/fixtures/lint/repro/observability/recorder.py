@@ -1,0 +1,8 @@
+"""Fixture: the timer module — the one place wall clocks are allowed."""
+
+from time import perf_counter
+
+
+def profile():
+    start = perf_counter()
+    return perf_counter() - start

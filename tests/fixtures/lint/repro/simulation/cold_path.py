@@ -1,0 +1,7 @@
+"""Fixture: unguarded recorder calls are fine off the hot path."""
+
+
+def run_window(recorder, window):
+    recorder.emit("window.close", index=window)
+    recorder.inc("windows")
+    return window

@@ -1,0 +1,7 @@
+"""Fixture: an upward import — simulation reaching into experiments."""
+
+from repro.experiments.runner import run_specs  # line 3: upward import
+
+
+def run():
+    return run_specs

@@ -1,0 +1,20 @@
+"""Fixture: seeded RNG use the determinism rule must accept."""
+
+import random
+from random import Random
+
+
+def seeded_instances(seed: int):
+    a = random.Random(seed)
+    b = Random(seed * 7 + 1)
+    c = random.Random(x=3)
+    return a, b, c
+
+
+def injected_draws(rng: random.Random):
+    return rng.random() + rng.randint(0, 10)
+
+
+def seeded_numpy(np, seed: int):
+    generator = np.random.default_rng(seed)
+    return generator

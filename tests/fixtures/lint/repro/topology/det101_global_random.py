@@ -1,0 +1,27 @@
+"""Fixture: every DET101 shape the determinism rule must catch."""
+
+import random
+from random import choice, shuffle  # line 4: imported module-level draws
+
+
+def unseeded_instances():
+    a = random.Random()  # line 8: no seed
+    b = Random()  # line 9: bare unseeded constructor
+    return a, b
+
+
+def global_draws():
+    x = random.random()  # line 14: module-level draw
+    y = random.randint(0, 10)  # line 15: module-level draw
+    return x, y
+
+
+def module_as_rng(rng=None):
+    rng = rng or random  # line 20: module object used as the RNG
+    return rng
+
+
+def numpy_global(np):
+    np.random.shuffle([1, 2, 3])  # line 25: global numpy RNG
+    g = np.random.default_rng()  # line 26: unseeded generator
+    return g

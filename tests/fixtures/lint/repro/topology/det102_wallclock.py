@@ -1,0 +1,13 @@
+"""Fixture: wall-clock reads outside the observability timer module."""
+
+import time
+from time import perf_counter  # line 4: wall-clock import
+from datetime import datetime
+
+
+def stamp():
+    a = time.time()  # line 9: wall clock
+    b = time.monotonic()  # line 10: wall clock
+    c = perf_counter()  # line 11: wall clock via direct import
+    d = datetime.now()  # line 12: wall clock
+    return a, b, c, d

@@ -1,0 +1,33 @@
+"""Fixture: set handling the determinism rule must accept."""
+
+from typing import Set
+
+
+def sorted_iteration(dirty: Set[int]):
+    for item in sorted(dirty):
+        print(item)
+    return [item for item in sorted(dirty)]
+
+
+def order_free_folds(dirty: Set[int]):
+    return (
+        len(dirty),
+        min(dirty),
+        max(dirty),
+        sum(dirty),
+        any(item > 3 for item in dirty),
+        all(item >= 0 for item in dirty),
+        7 in dirty,
+    )
+
+
+def set_to_set(dirty: Set[int], other: Set[int]):
+    merged = dirty | other
+    merged.update(other)
+    return frozenset(merged)
+
+
+def plain_sequences(items):
+    for item in items:
+        print(item)
+    return list(items)

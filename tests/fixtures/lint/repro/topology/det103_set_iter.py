@@ -1,0 +1,27 @@
+"""Fixture: unordered iteration feeding ordering-sensitive sinks."""
+
+from typing import Set
+
+
+def loop_over_literal():
+    for item in {3, 1, 2}:  # line 7: set literal into a for loop
+        print(item)
+
+
+def materialise(values):
+    chosen = set(values)
+    return list(chosen)  # line 13: set into list()
+
+
+def keys_loop(mapping):
+    for key in mapping.keys():  # line 17: dict.keys() into a for loop
+        print(key)
+
+
+def annotated_param(dirty: Set[int], rng):
+    return rng.sample(dirty, 2)  # line 22: set into an RNG draw
+
+
+def comprehension_over_union(left, right):
+    both = set(left) | set(right)
+    return [item * 2 for item in both]  # line 27: set union comprehension

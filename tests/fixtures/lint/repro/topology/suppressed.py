@@ -1,0 +1,24 @@
+"""Fixture: justified suppressions silence exactly the named rule."""
+
+
+def trailing_form(dirty):
+    pool = set(dirty)
+    for item in pool:  # repro-lint: disable=DET103 -- accumulates into a set; order unobservable
+        print(item)
+
+
+def standalone_form(dirty, np):
+    pool = set(dirty)
+    # repro-lint: disable=DET103 -- feeds an .any() reduction only
+    return np.fromiter(pool, dtype=int)
+
+
+def disable_all(rng_module):
+    import random
+
+    return random.random()  # repro-lint: disable=all -- fixture exercising the kill switch
+
+
+def wrong_code_does_not_hide(dirty):
+    pool = set(dirty)
+    return list(pool)  # repro-lint: disable=REC301 -- wrong code: DET103 still fires here

@@ -1,0 +1,70 @@
+"""End-to-end determinism: same seed, byte-identical results.
+
+The companion to ``repro.analysis``'s static rules — the dynamic check
+that the whole stack (topology build, deployment, workload, probing,
+failures, adaptive tuning, reporting) is a pure function of the spec's
+seeds.  ``repr`` on the report dataclasses captures every float bit, so
+equality here is byte-identity of everything an experiment publishes.
+"""
+
+import dataclasses
+
+from repro.discovery.deployment import DeploymentProfile
+from repro.experiments.config import ExperimentScale, default_spec
+from repro.experiments.reporting import format_report_summary
+from repro.experiments.runner import run_spec
+from repro.simulation.workload import RateSchedule
+
+_SCALE = ExperimentScale(
+    name="determinism-tiny",
+    num_routers=120,
+    duration_s=240.0,
+    adaptability_duration_s=540.0,
+    sampling_period_s=60.0,
+    optimal_max_explored=3000,
+)
+
+
+def _spec(algorithm="ACP", seed=7, adaptive=False):
+    spec = default_spec(
+        scale=_SCALE,
+        algorithm=algorithm,
+        num_nodes=40,
+        rate_per_min=30.0,
+        seed=seed,
+    )
+    return dataclasses.replace(
+        spec,
+        adaptive=adaptive,
+        system=dataclasses.replace(
+            spec.system, deployment=DeploymentProfile(components_per_node=(2, 3))
+        ),
+    )
+
+
+class TestSameSeedByteIdentical:
+    def test_two_runs_produce_byte_identical_reports(self):
+        first = run_spec(_spec())
+        second = run_spec(_spec())
+        assert repr(first) == repr(second)
+        assert format_report_summary([first]) == format_report_summary([second])
+
+    def test_adaptive_run_replays_exactly(self):
+        # the tuner feedback loop folds measured rates back into decisions;
+        # a single unseeded draw or unordered iteration anywhere upstream
+        # would fan out into different probing ratios here
+        spec = dataclasses.replace(
+            _spec(adaptive=True),
+            schedule=RateSchedule.steps(
+                (0.0, 20.0), (120.0, 60.0), (300.0, 30.0)
+            ),
+        )
+        first = run_spec(spec)
+        second = run_spec(spec)
+        assert repr(first) == repr(second)
+
+    def test_different_seeds_actually_differ(self):
+        # guard against the degenerate fix: everything pinned to one stream
+        first = run_spec(_spec(seed=7))
+        second = run_spec(_spec(seed=8))
+        assert repr(first) != repr(second)

@@ -1,0 +1,244 @@
+"""Self-tests for ``repro.analysis`` (repro-lint).
+
+Each rule code has a deliberately-broken fixture under
+``tests/fixtures/lint`` plus a clean counterpart; the tests pin exact
+rule codes and line numbers so rule regressions (missed violations *and*
+new false positives) both fail loudly.  The suite ends with the
+self-hosting check: the real ``src/repro`` tree must lint clean.
+"""
+
+import os
+import subprocess
+import sys
+import unittest
+
+from repro.analysis import lint_paths
+from repro.analysis.engine import module_name
+from repro.analysis.rules import ALL_RULES
+from repro.analysis.violations import parse_suppressions
+
+FIXTURES = os.path.join(os.path.dirname(__file__), "fixtures", "lint")
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+SRC_ROOT = os.path.join(REPO_ROOT, "src")
+
+
+def fixture(*parts: str) -> str:
+    return os.path.join(FIXTURES, "repro", *parts)
+
+
+def lint_fixture(*parts: str):
+    """Lint one fixture file with the fixture tree as the module root."""
+    result = lint_paths([fixture(*parts)], src_root=FIXTURES)
+    return [(v.code, v.line) for v in result.violations]
+
+
+class DeterminismRuleTest(unittest.TestCase):
+    def test_det101_catches_every_global_rng_shape(self):
+        found = lint_fixture("topology", "det101_global_random.py")
+        self.assertEqual(
+            found,
+            [
+                ("DET101", 4),   # from random import choice, shuffle
+                ("DET101", 8),   # random.Random()
+                ("DET101", 9),   # Random()
+                ("DET101", 14),  # random.random()
+                ("DET101", 15),  # random.randint()
+                ("DET101", 20),  # the module object as an RNG value
+                ("DET101", 25),  # np.random.shuffle
+                ("DET101", 26),  # np.random.default_rng()
+            ],
+        )
+
+    def test_det101_clean_counterpart(self):
+        self.assertEqual(lint_fixture("topology", "det101_clean.py"), [])
+
+    def test_det102_catches_wallclock_reads(self):
+        found = lint_fixture("topology", "det102_wallclock.py")
+        self.assertEqual(
+            found,
+            [
+                ("DET102", 4),   # from time import perf_counter
+                ("DET102", 9),   # time.time()
+                ("DET102", 10),  # time.monotonic()
+                ("DET102", 11),  # perf_counter()
+                ("DET102", 12),  # datetime.now()
+            ],
+        )
+
+    def test_det102_allows_the_observability_timer_module(self):
+        self.assertEqual(lint_fixture("observability", "recorder.py"), [])
+
+    def test_det103_catches_unordered_iteration(self):
+        found = lint_fixture("topology", "det103_set_iter.py")
+        self.assertEqual(
+            found,
+            [
+                ("DET103", 7),   # for over a set literal
+                ("DET103", 13),  # list(set-typed local)
+                ("DET103", 17),  # for over dict.keys()
+                ("DET103", 22),  # rng.sample(annotated set param)
+                ("DET103", 27),  # comprehension over a set union
+            ],
+        )
+
+    def test_det103_clean_counterpart(self):
+        self.assertEqual(lint_fixture("topology", "det103_clean.py"), [])
+
+
+class LayeringRuleTest(unittest.TestCase):
+    def test_lay201_upward_import(self):
+        found = lint_fixture("simulation", "lay201_upward.py")
+        self.assertEqual(found, [("LAY201", 3)])
+
+    def test_lay202_cycle_reports_the_chain(self):
+        result = lint_paths(
+            [fixture("alpha"), fixture("beta")], src_root=FIXTURES
+        )
+        codes = sorted((v.code, v.line) for v in result.violations)
+        # one cycle, plus each file flagging both undeclared packages
+        self.assertEqual(
+            codes, [("LAY202", 3)] + [("LAY203", 3)] * 4
+        )
+        cycle = [v for v in result.violations if v.code == "LAY202"][0]
+        self.assertIn("alpha", cycle.message)
+        self.assertIn("beta", cycle.message)
+        self.assertIn("->", cycle.message)
+
+    def test_lay203_undeclared_package(self):
+        found = lint_fixture("mystery", "outsider.py")
+        self.assertEqual(found, [("LAY203", 3)])
+
+    def test_layering_needs_a_src_root(self):
+        # without module names there is no layer information to check
+        result = lint_paths(
+            [fixture("simulation", "lay201_upward.py")], src_root=None
+        )
+        self.assertEqual(result.violations, [])
+
+
+class RecorderDisciplineRuleTest(unittest.TestCase):
+    def test_rec301_catches_unguarded_calls_on_hot_paths(self):
+        found = lint_fixture("core", "hot_unguarded.py")
+        self.assertEqual(
+            found,
+            [
+                ("REC301", 5),
+                ("REC301", 7),
+                ("REC301", 8),
+                ("REC301", 17),
+            ],
+        )
+
+    def test_rec301_accepts_every_guard_shape(self):
+        self.assertEqual(lint_fixture("core", "hot_guarded.py"), [])
+
+    def test_rec301_ignores_cold_paths(self):
+        self.assertEqual(lint_fixture("simulation", "cold_path.py"), [])
+
+
+class SuppressionTest(unittest.TestCase):
+    def test_fixture_suppressions(self):
+        # trailing, standalone-above, and disable=all forms all hold; the
+        # wrong-code suppression does not hide the real violation
+        found = lint_fixture("topology", "suppressed.py")
+        self.assertEqual(found, [("DET103", 24)])
+
+    def test_parse_trailing_and_standalone(self):
+        source = (
+            "x = 1  # repro-lint: disable=DET101\n"
+            "# repro-lint: disable=DET103,REC301 -- justification\n"
+            "y = 2\n"
+        )
+        suppressions = parse_suppressions(source)
+        self.assertEqual(suppressions[1], frozenset({"DET101"}))
+        self.assertEqual(suppressions[3], frozenset({"DET103", "REC301"}))
+
+    def test_marker_inside_string_is_ignored(self):
+        source = 'text = "# repro-lint: disable=DET101"\n'
+        self.assertEqual(parse_suppressions(source), {})
+
+
+class ParseErrorTest(unittest.TestCase):
+    def test_broken_file_reports_par001(self):
+        import tempfile
+
+        with tempfile.TemporaryDirectory() as tmp:
+            path = os.path.join(tmp, "broken.py")
+            with open(path, "w", encoding="utf-8") as handle:
+                handle.write("def broken(:\n")
+            result = lint_paths([path])
+            self.assertEqual(len(result.violations), 1)
+            self.assertEqual(result.violations[0].code, "PAR001")
+
+
+class EngineTest(unittest.TestCase):
+    def test_module_name_resolution(self):
+        self.assertEqual(
+            module_name(fixture("core", "hot_guarded.py"), FIXTURES),
+            "repro.core.hot_guarded",
+        )
+        self.assertEqual(
+            module_name(fixture("core", "__init__.py"), FIXTURES),
+            "repro.core",
+        )
+        self.assertIsNone(module_name("/elsewhere/thing.py", FIXTURES))
+        self.assertIsNone(module_name(fixture("core", "hot_guarded.py"), None))
+
+    def test_every_emitted_code_is_in_the_catalog(self):
+        result = lint_paths([FIXTURES], src_root=FIXTURES)
+        for violation in result.violations:
+            self.assertIn(violation.code, ALL_RULES)
+
+
+class CliTest(unittest.TestCase):
+    def run_cli(self, *argv: str) -> "subprocess.CompletedProcess[str]":
+        env = dict(os.environ)
+        env["PYTHONPATH"] = SRC_ROOT + os.pathsep + env.get("PYTHONPATH", "")
+        return subprocess.run(
+            [sys.executable, "-m", "repro.analysis", *argv],
+            capture_output=True,
+            text=True,
+            env=env,
+            cwd=REPO_ROOT,
+        )
+
+    def test_list_rules(self):
+        proc = self.run_cli("--list-rules")
+        self.assertEqual(proc.returncode, 0)
+        for code in ALL_RULES:
+            self.assertIn(code, proc.stdout)
+
+    def test_violations_exit_nonzero_with_locations(self):
+        proc = self.run_cli(
+            os.path.join(
+                "tests", "fixtures", "lint", "repro", "core", "hot_unguarded.py"
+            ),
+            "--src-root",
+            os.path.join("tests", "fixtures", "lint"),
+        )
+        self.assertEqual(proc.returncode, 1)
+        self.assertIn("REC301", proc.stdout)
+        self.assertIn("hot_unguarded.py:5:", proc.stdout)
+
+    def test_default_invocation_is_clean(self):
+        proc = self.run_cli()
+        self.assertEqual(proc.returncode, 0, proc.stdout + proc.stderr)
+        self.assertIn("clean", proc.stdout)
+
+
+class SelfHostingTest(unittest.TestCase):
+    def test_src_tree_is_lint_clean(self):
+        """The acceptance criterion: zero violations on the real tree."""
+        result = lint_paths(
+            [os.path.join(SRC_ROOT, "repro")], src_root=SRC_ROOT
+        )
+        self.assertEqual(
+            [v.format() for v in result.violations],
+            [],
+            "src/repro must stay repro-lint clean",
+        )
+        self.assertGreater(result.files_checked, 50)
+
+
+if __name__ == "__main__":
+    unittest.main()
