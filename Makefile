@@ -3,7 +3,7 @@
 
 PYTEST := PYTHONPATH=src python -m pytest
 
-.PHONY: test lint bench bench-micro bench-macro trace-demo
+.PHONY: test lint bench bench-micro bench-macro bench-faults trace-demo
 
 test:
 	$(PYTEST) -x -q tests
@@ -51,6 +51,17 @@ trace-demo:
 bench-macro:
 	$(PYTEST) -q -s benchmarks/test_macro_churn.py
 	@echo "timings: benchmarks/results/BENCH_macro.json"
+
+# Fault-tolerance macro benchmark: the same Fig. 8-style simulation run
+# under the full fault cocktail (node crashes, link flaps, lossy control
+# plane, state-update loss) with and without crash-triggered session
+# re-composition.  Survival figures land in
+# benchmarks/results/BENCH_faults.json; the run asserts the resilient
+# mode's session survival rate strictly exceeds the kill-on-fault
+# baseline and that a zero-fault plan is decision-identical to no plan.
+bench-faults:
+	$(PYTEST) -q -s benchmarks/test_macro_faults.py
+	@echo "survival: benchmarks/results/BENCH_faults.json"
 
 # Full benchmark suite: every figure harness at FAST_SCALE plus the micro
 # operations.  Figure rows land in benchmarks/results/*.txt.

@@ -22,12 +22,15 @@ from typing import List, Optional, Sequence
 
 from repro.experiments import (
     ALGORITHMS,
+    DEFAULT_FAULT_PLAN,
     FAST_SCALE,
     PAPER_SCALE,
     default_spec,
+    format_faults_table,
     format_fig8_table,
     format_figure_table,
     format_report_summary,
+    run_faults,
     run_fig5a,
     run_fig5b,
     run_fig6,
@@ -36,6 +39,7 @@ from repro.experiments import (
     run_specs,
 )
 from repro.experiments.runner import build_simulator
+from repro.middleware import RecoveryPolicy
 from repro.observability import (
     TraceRecorder,
     format_trace_summary,
@@ -114,6 +118,34 @@ def build_parser() -> argparse.ArgumentParser:
     fig8 = add_command("fig8", "adaptability under dynamic load")
     fig8.add_argument("--target", type=float, default=0.75)
 
+    faults = add_command("faults", "session survival under the fault cocktail")
+    faults.add_argument(
+        "--node-fail", type=float, default=DEFAULT_FAULT_PLAN.node_fail_probability,
+        help="per-round node crash probability",
+    )
+    faults.add_argument(
+        "--link-fail", type=float, default=DEFAULT_FAULT_PLAN.link_fail_probability,
+        help="per-round overlay link failure probability",
+    )
+    faults.add_argument(
+        "--probe-loss", type=float,
+        default=DEFAULT_FAULT_PLAN.probe_loss_probability,
+        help="per-message probe loss probability on the control plane",
+    )
+    faults.add_argument(
+        "--state-loss", type=float,
+        default=DEFAULT_FAULT_PLAN.state_update_loss_probability,
+        help="per-message state-update loss probability",
+    )
+    faults.add_argument(
+        "--recovery-deadline", type=float, default=30.0,
+        help="seconds a disrupted session may spend recovering (default: 30)",
+    )
+    faults.add_argument(
+        "--detection-delay", type=float, default=2.0,
+        help="seconds between a fault and the recovery sweep (default: 2)",
+    )
+
     compare = add_command("compare", "all algorithms at one workload point")
     compare.add_argument("--rate", type=float, default=60.0)
     compare.add_argument("--algorithms", default=",".join(ALGORITHMS))
@@ -125,6 +157,11 @@ def build_parser() -> argparse.ArgumentParser:
         help="attach the adaptive probing-ratio tuner (ACP)",
     )
     trace.add_argument("--target", type=float, default=0.75)
+    trace.add_argument(
+        "--faults", action="store_true",
+        help="inject the default fault cocktail with session recovery "
+        "(fault and recovery events land in the trace)",
+    )
     trace.add_argument(
         "--duration", type=float, default=None,
         help="simulated seconds (default: the scale's duration)",
@@ -210,6 +247,26 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         _emit(format_fig8_table(fixed), args.output)
         _emit("", args.output)
         _emit(format_fig8_table(adaptive), args.output)
+    elif args.command == "faults":
+        plan = replace(
+            DEFAULT_FAULT_PLAN,
+            node_fail_probability=args.node_fail,
+            link_fail_probability=args.link_fail,
+            probe_loss_probability=args.probe_loss,
+            state_update_loss_probability=args.state_loss,
+        )
+        result = run_faults(
+            scale=scale,
+            num_nodes=args.nodes,
+            seed=args.seed,
+            plan=plan,
+            recovery=RecoveryPolicy(
+                recovery_deadline_s=args.recovery_deadline,
+                detection_delay_s=args.detection_delay,
+            ),
+            workers=args.workers,
+        )
+        _emit(format_faults_table(result), args.output)
     elif args.command == "compare":
         base = default_spec(
             scale=scale, num_nodes=args.nodes, rate_per_min=args.rate,
@@ -229,6 +286,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             spec = replace(
                 spec, adaptive=True, target_success_rate=args.target
             )
+        if args.faults:
+            spec = spec.with_faults(DEFAULT_FAULT_PLAN, RecoveryPolicy())
         if args.duration is not None:
             spec = replace(spec, duration_s=args.duration)
         recorder = TraceRecorder()

@@ -19,6 +19,12 @@ from repro.core.composer import (
     CompositionEvaluator,
     CompositionOutcome,
 )
+from repro.core.control import (
+    ControlChannel,
+    LossyControlChannel,
+    PerfectControlChannel,
+    delay_slack_ms,
+)
 from repro.core.fastscore import FastScorer, LevelPool
 from repro.core.optimal import OptimalComposer
 from repro.core.probe import Probe, ProbeFactory
@@ -47,6 +53,10 @@ __all__ = [
     "CompositionContext",
     "CompositionEvaluator",
     "CompositionOutcome",
+    "ControlChannel",
+    "LossyControlChannel",
+    "PerfectControlChannel",
+    "delay_slack_ms",
     "FastScorer",
     "LevelPool",
     "OptimalComposer",

@@ -29,6 +29,7 @@ from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Callable, Dict, Mapping, Optional, Sequence, Tuple
 
 from repro.allocation.allocator import ResourceAllocator
+from repro.core.control import ControlChannel, PerfectControlChannel
 from repro.discovery.registry import ComponentRegistry
 from repro.model.component import Component
 from repro.observability import NULL_RECORDER, Recorder
@@ -66,6 +67,10 @@ class CompositionContext:
     #: observability sink shared by every composer on this context; the
     #: null default keeps the hot path at one ``enabled`` check per site
     recorder: Recorder = NULL_RECORDER
+    #: the only legal probe-delivery seam (see repro.core.control); the
+    #: perfect default consumes no randomness, so a context built without
+    #: faults behaves identically to one predating the channel
+    control: ControlChannel = field(default_factory=PerfectControlChannel)
     #: how component QoS responds to host load (factors 0 = static QoS)
     qos_model: LoadDependentQoSModel = field(default_factory=LoadDependentQoSModel)
     #: lazily constructed vectorised scoring engine (see fast_scorer())

@@ -42,6 +42,7 @@ from typing import Callable, Dict, List, Optional, Tuple
 from repro.observability.recorder import wall_clock as perf_counter
 
 from repro.core.composer import Composer, CompositionContext, CompositionOutcome
+from repro.core.control import delay_slack_ms
 from repro.core.probe import Probe, ProbeFactory
 from repro.core.selection import (
     RankingPolicy,
@@ -229,16 +230,16 @@ class ProbingComposer(Composer):
             if observing:
                 score_elapsed = perf_counter() - level_start
                 dispatch_start = perf_counter()
-            beam = self._dispatch_probes(
+            beam, sent = self._dispatch_probes(
                 request, factory, selected, function_index, predecessors, requirement
             )
-            probe_messages += len(selected)  # one message per spawned probe
+            probe_messages += sent  # one message per delivery attempt
             if observing:
                 recorder.observe("phase.score_level", score_elapsed)
                 recorder.observe(
                     "phase.dispatch", perf_counter() - dispatch_start
                 )
-                recorder.inc("probe.messages", len(selected))
+                recorder.inc("probe.messages", sent)
                 dropped = len(selected) - len(beam)
                 recorder.emit(
                     "probe.level",
@@ -425,15 +426,61 @@ class ProbingComposer(Composer):
         function_index: int,
         predecessors: Tuple[int, ...],
         requirement: ResourceVector,
-    ) -> List[Probe]:
-        """Send probes to selected candidates: precise on-arrival checks,
-        transient reservation, state collection.  Returns surviving probes."""
+    ) -> Tuple[List[Probe], int]:
+        """Send probes to selected candidates: control-channel delivery,
+        precise on-arrival checks, transient reservation, state collection.
+
+        Every probe message travels through ``context.control`` — the only
+        legal delivery seam.  On a lossless channel each candidate costs
+        exactly one message, matching the historical accounting.  On a
+        lossy channel the probe is re-sent up to ``channel.max_retries``
+        times, but only while the cumulative control-plane delay stays
+        within the probe's remaining QoS delay slack — a candidate whose
+        accumulated delay already sits near the requirement cannot afford
+        retries.  Returns ``(surviving probes, messages spent)``.
+        """
         context = self.context
+        channel = context.control
+        lossless = channel.lossless
+        recorder = context.recorder
+        observing = recorder.enabled
         survivors: List[Probe] = []
+        messages = 0
+        if lossless:
+            # fast path: no retry machinery, identical to the pre-channel
+            # behaviour of one message per spawned probe
+            messages = len(selected)
+            channel.messages_sent += messages
         now = context.clock()
         for entry in selected:
             parent: Probe = entry.parent
             candidate = entry.candidate
+            if not lossless:
+                slack_ms = delay_slack_ms(
+                    entry.accumulated_qos, request.qos_requirement
+                )
+                delivered = False
+                spent_ms = 0.0
+                for _attempt in range(1 + channel.max_retries):
+                    messages += 1
+                    ok, delay_ms = channel.send()
+                    spent_ms += delay_ms
+                    if spent_ms > slack_ms + 1e-9:
+                        break  # control delay ate the deadline budget
+                    if ok:
+                        delivered = True
+                        break
+                if not delivered:
+                    if observing:
+                        recorder.inc("probe.lost")
+                        recorder.emit(
+                            "probe.lost",
+                            request_id=request.request_id,
+                            function=function_index,
+                            node=candidate.node_id,
+                            attempts=_attempt + 1,
+                        )
+                    continue  # probe (and all retries) lost in transit
             observed_bw: Dict[Tuple[int, int], float] = {}
             feasible = True
             for predecessor in predecessors:
@@ -479,7 +526,7 @@ class ProbingComposer(Composer):
                     observed_bw,
                 )
             )
-        return survivors
+        return survivors, messages
 
     # -- deputy final selection ---------------------------------------------------
 

@@ -18,9 +18,11 @@ Two stock :class:`ExperimentScale` presets trade fidelity for wall-clock:
 from __future__ import annotations
 
 from dataclasses import dataclass, replace
-from typing import Tuple, Union
+from typing import Optional, Tuple, Union
 
 from repro.discovery.deployment import DeploymentProfile
+from repro.middleware.session import RecoveryPolicy
+from repro.simulation.failures import FaultPlan
 from repro.simulation.system import SystemConfig
 from repro.simulation.workload import QOS_LEVELS, QoSLevel, RateSchedule
 
@@ -88,6 +90,10 @@ class RunSpec:
     adaptive: bool = False
     target_success_rate: float = 0.9
     optimal_max_explored: int = 100_000
+    #: fault cocktail injected during the run (None: fault-free)
+    faults: Optional[FaultPlan] = None
+    #: crash-triggered session re-composition (None: faults kill sessions)
+    recovery: Optional[RecoveryPolicy] = None
 
     def __post_init__(self) -> None:
         if self.algorithm not in ALGORITHMS:
@@ -110,6 +116,13 @@ class RunSpec:
         if isinstance(level, str):
             level = QOS_LEVELS[level]
         return replace(self, qos_level=level)
+
+    def with_faults(
+        self,
+        faults: Optional[FaultPlan],
+        recovery: Optional[RecoveryPolicy] = None,
+    ) -> "RunSpec":
+        return replace(self, faults=faults, recovery=recovery)
 
 
 def default_spec(

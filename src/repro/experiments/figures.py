@@ -36,7 +36,9 @@ from repro.experiments.config import (
     default_spec,
 )
 from repro.experiments.runner import run_specs
-from repro.simulation.metrics import WindowSample
+from repro.middleware.session import RecoveryPolicy
+from repro.simulation.failures import FaultPlan
+from repro.simulation.metrics import SimulationReport, WindowSample
 from repro.simulation.workload import RateSchedule
 
 #: x-axis defaults straight from the paper
@@ -296,3 +298,61 @@ def run_fig8(
         Fig8Result("8a", fixed_report.window_samples, schedule, None),
         Fig8Result("8b", adaptive_report.window_samples, schedule, target_success_rate),
     )
+
+
+# -- Fault tolerance: survival under the full fault cocktail ----------------------
+
+#: The standard fault cocktail of the fault-tolerance experiment: node
+#: churn and link flaps every minute, a lossy/laggy probe control plane,
+#: and a lossy management plane for state updates.
+DEFAULT_FAULT_PLAN = FaultPlan(
+    node_fail_probability=0.05,
+    node_recover_probability=0.5,
+    link_fail_probability=0.02,
+    link_recover_probability=0.5,
+    probe_loss_probability=0.05,
+    probe_delay_ms=2.0,
+    max_probe_retries=2,
+    state_update_loss_probability=0.10,
+    period_s=60.0,
+)
+
+
+@dataclass(frozen=True)
+class FaultsResult:
+    """Two identical runs under one fault cocktail: the baseline kills
+    disrupted sessions (the legacy behaviour); the resilient run
+    re-composes them under a :class:`~repro.middleware.session.RecoveryPolicy`."""
+
+    plan: FaultPlan
+    baseline: SimulationReport
+    resilient: SimulationReport
+
+
+def run_faults(
+    scale: ExperimentScale = PAPER_SCALE,
+    num_nodes: int = 400,
+    seed: int = 0,
+    plan: Optional[FaultPlan] = None,
+    recovery: Optional[RecoveryPolicy] = None,
+    workers: Optional[int] = None,
+) -> FaultsResult:
+    """Fig. 8-style adaptability run under the full fault cocktail.
+
+    Both runs see the identical system, workload, and fault schedule
+    (same seeds); the only difference is the recovery policy — so any
+    survival-rate gap is attributable to crash-triggered re-composition.
+    """
+    plan = plan if plan is not None else DEFAULT_FAULT_PLAN
+    recovery = recovery if recovery is not None else RecoveryPolicy()
+    duration = scale.adaptability_duration_s
+    schedule = _dynamic_schedule(duration)
+    base = default_spec(
+        scale=scale, algorithm="ACP", num_nodes=num_nodes, seed=seed
+    ).with_qos(DEFAULT_QOS)
+    base = replace(base, schedule=schedule, duration_s=duration)
+    baseline_report, resilient_report = run_specs(
+        [base.with_faults(plan), base.with_faults(plan, recovery)],
+        workers=workers,
+    )
+    return FaultsResult(plan, baseline_report, resilient_report)

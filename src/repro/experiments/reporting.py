@@ -9,7 +9,7 @@ from __future__ import annotations
 
 from typing import List, Sequence
 
-from repro.experiments.figures import FigureResult, Fig8Result
+from repro.experiments.figures import FaultsResult, FigureResult, Fig8Result
 from repro.simulation.metrics import SimulationReport
 
 
@@ -64,6 +64,86 @@ def format_fig8_table(result: Fig8Result) -> str:
     else:
         title += " (fixed probing ratio)"
     return title + "\n" + _align([header] + rows)
+
+
+def format_faults_table(result: FaultsResult) -> str:
+    """Render the fault-tolerance comparison: kill-on-fault vs recovery."""
+    header = [
+        "mode",
+        "sessions",
+        "disrupted",
+        "recovered",
+        "killed",
+        "survival (%)",
+        "mean recovery (s)",
+        "recovery probes",
+    ]
+    rows = []
+    for label, report in (
+        ("kill-on-fault", result.baseline),
+        ("recovery", result.resilient),
+    ):
+        rows.append(
+            [
+                label,
+                str(report.sessions_opened),
+                str(report.sessions_disrupted),
+                str(report.sessions_recovered),
+                str(report.sessions_killed),
+                f"{100.0 * report.session_survival_rate:.1f}",
+                f"{report.mean_recovery_latency_s:.1f}",
+                str(report.recovery_probe_messages),
+            ]
+        )
+    plan = result.plan
+    title = (
+        "Fault tolerance: session survival under the fault cocktail\n"
+        f"(node fail p={plan.node_fail_probability:g}, "
+        f"link fail p={plan.link_fail_probability:g}, "
+        f"probe loss p={plan.probe_loss_probability:g}, "
+        f"state-update loss p={plan.state_update_loss_probability:g})"
+    )
+    return title + "\n" + _align([header] + rows)
+
+
+def faults_to_dict(result: FaultsResult) -> dict:
+    """A fault-tolerance comparison as a JSON-serialisable dict
+    (the ``BENCH_faults.json`` payload shape)."""
+    plan = result.plan
+
+    def _mode(report: SimulationReport) -> dict:
+        payload = report_to_dict(report)
+        payload.update(
+            {
+                "sessions_opened": report.sessions_opened,
+                "sessions_disrupted": report.sessions_disrupted,
+                "sessions_recovered": report.sessions_recovered,
+                "sessions_killed": report.sessions_killed,
+                "session_survival_rate": report.session_survival_rate,
+                "recovery_probe_messages": report.recovery_probe_messages,
+                "mean_recovery_latency_s": report.mean_recovery_latency_s,
+                "state_updates_lost": report.state_updates_lost,
+                "probe_messages_lost": report.probe_messages_lost,
+            }
+        )
+        return payload
+
+    return {
+        "plan": {
+            "node_fail_probability": plan.node_fail_probability,
+            "node_recover_probability": plan.node_recover_probability,
+            "link_fail_probability": plan.link_fail_probability,
+            "link_recover_probability": plan.link_recover_probability,
+            "probe_loss_probability": plan.probe_loss_probability,
+            "probe_delay_ms": plan.probe_delay_ms,
+            "max_probe_retries": plan.max_probe_retries,
+            "state_update_loss_probability": plan.state_update_loss_probability,
+            "max_concurrent_failures": plan.max_concurrent_failures,
+            "period_s": plan.period_s,
+        },
+        "baseline": _mode(result.baseline),
+        "resilient": _mode(result.resilient),
+    }
 
 
 def format_report_summary(reports: Sequence[SimulationReport]) -> str:

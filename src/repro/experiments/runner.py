@@ -35,6 +35,7 @@ from repro.core.optimal import OptimalComposer
 from repro.core.tuning import ProbingRatioTuner
 from repro.experiments.config import RunSpec
 from repro.observability import Recorder
+from repro.simulation.failures import FailureInjector, install_control_plane_faults
 from repro.simulation.metrics import SimulationReport
 from repro.simulation.simulator import StreamProcessingSimulator
 from repro.simulation.system import StreamSystem, build_system
@@ -89,13 +90,34 @@ def build_simulator(
         tuner = ProbingRatioTuner(
             target_success_rate=spec.target_success_rate, recorder=recorder
         )
+    # fault wiring: every fault stream derives its own seed from the
+    # workload seed, so enabling one fault kind never perturbs another —
+    # and a zero plan wires nothing, leaving the run decision-identical
+    # to a fault-free spec
+    failures = None
+    if spec.faults is not None:
+        if spec.faults.injects_churn:
+            failures = FailureInjector(
+                system.network,
+                system.router,
+                rng=random.Random(spec.workload_seed + 31),
+                plan=spec.faults,
+            )
+        install_control_plane_faults(
+            spec.faults,
+            context,
+            system.global_state,
+            seed=spec.workload_seed + 41,
+        )
     return StreamProcessingSimulator(
         system,
         composer,
         workload,
         sampling_period_s=spec.sampling_period_s,
         tuner=tuner,
+        failures=failures,
         recorder=recorder,
+        recovery=spec.recovery,
     )
 
 

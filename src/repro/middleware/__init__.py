@@ -2,6 +2,7 @@
 
 from repro.middleware.session import (
     ProcessingResult,
+    RecoveryPolicy,
     SessionError,
     SessionManager,
     SessionState,
@@ -14,4 +15,5 @@ __all__ = [
     "SessionState",
     "SessionError",
     "ProcessingResult",
+    "RecoveryPolicy",
 ]

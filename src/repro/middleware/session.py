@@ -37,12 +37,44 @@ from repro.observability import NULL_RECORDER, Recorder
 class SessionState(enum.Enum):
     COMPOSED = "composed"
     PROCESSING = "processing"
+    #: disrupted by a fault; awaiting re-composition against live topology
+    RECOVERING = "recovering"
     CLOSED = "closed"
     FAILED = "failed"
 
 
 class SessionError(RuntimeError):
-    """Raised on operations against unknown or closed sessions."""
+    """Raised on operations against unknown, closed, or recovering sessions."""
+
+
+@dataclass(frozen=True)
+class RecoveryPolicy:
+    """Crash-triggered re-composition policy.
+
+    When attached to a :class:`SessionManager`, sessions disrupted by a
+    fault enter ``RECOVERING`` instead of being killed outright: their old
+    resources are released immediately and :meth:`SessionManager.recover_pending`
+    re-composes them against the live topology.  A session that cannot be
+    re-admitted within ``recovery_deadline_s`` of its disruption falls back
+    to the clean kill of the legacy behaviour.
+
+    ``detection_delay_s`` models the failure-detection lag: the simulator
+    waits that long after a fault round before running the first recovery
+    sweep, so recovery latency is never optimistically zero.
+    """
+
+    recovery_deadline_s: float = 30.0
+    detection_delay_s: float = 2.0
+
+    def __post_init__(self) -> None:
+        if self.recovery_deadline_s <= 0.0:
+            raise ValueError(
+                f"recovery_deadline_s must be positive, got {self.recovery_deadline_s}"
+            )
+        if self.detection_delay_s < 0.0:
+            raise ValueError(
+                f"detection_delay_s must be non-negative, got {self.detection_delay_s}"
+            )
 
 
 @dataclass
@@ -67,6 +99,10 @@ class StreamSession:
     state: SessionState
     created_at: float
     units_processed: float = 0.0
+    #: simulated time the session entered RECOVERING (None while healthy)
+    recovering_since: Optional[float] = None
+    #: completed fault recoveries over the session's lifetime
+    recoveries: int = 0
 
 
 class SessionManager:
@@ -78,15 +114,29 @@ class SessionManager:
         allocator: ResourceAllocator,
         clock: Callable[[], float] = lambda: 0.0,
         recorder: Recorder = NULL_RECORDER,
+        recovery: Optional[RecoveryPolicy] = None,
     ) -> None:
         self.composer = composer
         self.allocator = allocator
         self.clock = clock
         self.recorder = recorder
+        #: None keeps the legacy fail-fast behaviour: faults kill sessions
+        self.recovery = recovery
         self._sessions: Dict[int, StreamSession] = {}
         self._session_ids = itertools.count(1)
         #: sessions ever created (the session id counter never reuses ids)
         self.sessions_created = 0
+        #: sessions hit by a fault (killed outright or sent to RECOVERING)
+        self.sessions_disrupted = 0
+        #: disrupted sessions re-admitted by recover_pending()
+        self.sessions_recovered = 0
+        #: disrupted sessions permanently lost (legacy kills, deadline
+        #: expiries, and sessions whose lifetime ended while recovering)
+        self.sessions_killed = 0
+        #: probe messages spent on recovery re-compositions
+        self.recovery_probe_messages = 0
+        #: summed disruption->re-admission latency of recovered sessions
+        self.recovery_latency_total_s = 0.0
 
     # -- Find --------------------------------------------------------------
 
@@ -193,38 +243,158 @@ class SessionManager:
     def close_if_open(self, session_id: int) -> bool:
         """Close the session if it is still in the table; False otherwise.
 
-        The simulator's scheduled end-of-session events use this: a session
-        may already be gone because a node crash terminated it.
+        A session may already be gone because a node crash terminated it.
+        Raises :class:`SessionError` on a ``RECOVERING`` session — it is
+        neither open nor gone; callers that must tolerate the race use
+        :meth:`close_or_abandon`.
         """
         if session_id not in self._sessions:
             return False
         self.close(session_id)
         return True
 
+    def close_or_abandon(self, session_id: int) -> bool:
+        """End-of-lifetime close that tolerates every session state.
+
+        The simulator's scheduled end-of-session events use this: the
+        session may be gone (crash-killed), open (normal close), or
+        ``RECOVERING`` — in which case its lifetime ended before recovery
+        completed, so it is abandoned and counted as a kill.  Returns True
+        if a session record was removed.
+        """
+        session = self._sessions.get(session_id)
+        if session is None:
+            return False
+        if session.state is SessionState.RECOVERING:
+            self._kill_recovering(session, "expired_while_recovering")
+            return True
+        self.close(session_id)
+        return True
+
     # -- failure handling ---------------------------------------------------
 
     def terminate_sessions_using_node(self, node_id: int) -> int:
-        """Kill every session with a component on ``node_id``.
+        """Disrupt every session with a component on ``node_id``.
 
         Used by failure injection: the application crashed with the node.
         All of the session's resources are released (including the
-        bookkeeping on the crashed node).  Returns the number of sessions
-        terminated.
+        bookkeeping on the crashed node).  Without a :class:`RecoveryPolicy`
+        the sessions are killed outright — the legacy behaviour; with one,
+        they enter ``RECOVERING`` and await :meth:`recover_pending`.
+        Sessions already recovering hold no resources and are skipped (the
+        double-disruption race: a second fault cannot kill a session twice).
+        Returns the number of sessions disrupted.
         """
         doomed = [
             session
             for session in self._sessions.values()
-            if node_id in session.allocation.node_demands
+            if session.state is not SessionState.RECOVERING
+            and node_id in session.allocation.node_demands
         ]
+        return self._disrupt(doomed, "node", node_id)
+
+    def terminate_sessions_using_link(self, link_id: int) -> int:
+        """Disrupt every session whose virtual links cross overlay link
+        ``link_id`` — the per-link analogue of
+        :meth:`terminate_sessions_using_node`."""
+        doomed = [
+            session
+            for session in self._sessions.values()
+            if session.state is not SessionState.RECOVERING
+            and link_id in session.allocation.link_demands
+        ]
+        return self._disrupt(doomed, "link", link_id)
+
+    def _disrupt(
+        self, doomed: list, entity_kind: str, entity_id: int
+    ) -> int:
+        recovering = self.recovery is not None
+        now = self.clock()
         for session in doomed:
             self.allocator.release(session.allocation)
-            session.state = SessionState.FAILED
-            del self._sessions[session.session_id]
+            self.sessions_disrupted += 1
+            if recovering:
+                session.state = SessionState.RECOVERING
+                session.recovering_since = now
+            else:
+                session.state = SessionState.FAILED
+                del self._sessions[session.session_id]
+                self.sessions_killed += 1
         if doomed and self.recorder.enabled:
             self.recorder.emit(
-                "session.killed", node_id=node_id, count=len(doomed)
+                "session.recovering" if recovering else "session.killed",
+                **{entity_kind + "_id": entity_id, "count": len(doomed)},
             )
         return len(doomed)
+
+    def recover_pending(self, now: Optional[float] = None) -> int:
+        """Re-compose every ``RECOVERING`` session against live topology.
+
+        Each pending session is re-composed with the manager's composer; on
+        success the new allocation is committed and the session returns to
+        ``COMPOSED`` with its recovery latency recorded.  A session past
+        its recovery deadline — or one whose re-admission loses a race —
+        falls back to a clean kill.  Sessions that merely fail to compose
+        this sweep stay ``RECOVERING`` until their deadline.  Returns the
+        number of sessions recovered this sweep.
+        """
+        if self.recovery is None:
+            return 0
+        if now is None:
+            now = self.clock()
+        deadline_s = self.recovery.recovery_deadline_s
+        pending = sorted(
+            session_id
+            for session_id, session in self._sessions.items()
+            if session.state is SessionState.RECOVERING
+        )
+        recovered = 0
+        for session_id in pending:
+            session = self._sessions[session_id]
+            assert session.recovering_since is not None
+            if now - session.recovering_since > deadline_s + 1e-9:
+                self._kill_recovering(session, "recovery_deadline")
+                continue
+            outcome = self.composer.compose(session.request)
+            self.recovery_probe_messages += outcome.probe_messages
+            if not outcome.success or outcome.composition is None:
+                self.allocator.cancel_transient(session.request.request_id)
+                continue  # retry at the next sweep until the deadline
+            try:
+                allocation = self.allocator.commit(outcome.composition)
+            except AdmissionError:
+                self.allocator.cancel_transient(session.request.request_id)
+                continue
+            latency_s = now - session.recovering_since
+            session.composition = outcome.composition
+            session.allocation = allocation
+            session.state = SessionState.COMPOSED
+            session.recovering_since = None
+            session.recoveries += 1
+            self.sessions_recovered += 1
+            self.recovery_latency_total_s += latency_s
+            recovered += 1
+            if self.recorder.enabled:
+                self.recorder.emit(
+                    "session.recovered",
+                    session_id=session_id,
+                    latency_s=latency_s,
+                    probe_messages=outcome.probe_messages,
+                )
+        return recovered
+
+    def _kill_recovering(self, session: StreamSession, reason: str) -> None:
+        """Give up on a recovering session (resources already released)."""
+        session.state = SessionState.FAILED
+        session.recovering_since = None
+        del self._sessions[session.session_id]
+        self.sessions_killed += 1
+        if self.recorder.enabled:
+            self.recorder.emit(
+                "session.recovery_failed",
+                session_id=session.session_id,
+                reason=reason,
+            )
 
     # -- introspection -----------------------------------------------------------
 
@@ -235,8 +405,29 @@ class SessionManager:
     def active_session_count(self) -> int:
         return len(self._sessions)
 
+    @property
+    def recovering_count(self) -> int:
+        """Sessions currently awaiting re-composition."""
+        return sum(
+            1
+            for session in self._sessions.values()
+            if session.state is SessionState.RECOVERING
+        )
+
+    @property
+    def mean_recovery_latency_s(self) -> float:
+        """Mean disruption-to-readmission latency of recovered sessions."""
+        if self.sessions_recovered == 0:
+            return 0.0
+        return self.recovery_latency_total_s / self.sessions_recovered
+
     def _get_open(self, session_id: int) -> StreamSession:
         session = self._sessions.get(session_id)
         if session is None:
             raise SessionError(f"unknown or closed session {session_id}")
+        if session.state is SessionState.RECOVERING:
+            raise SessionError(
+                f"session {session_id} is recovering from a failure; "
+                "it cannot be used until re-composition completes"
+            )
         return session

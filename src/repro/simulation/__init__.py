@@ -4,7 +4,12 @@ System assembly, workload generation, the event engine, metrics, and the
 end-to-end simulator that the experiment harness drives.
 """
 
-from repro.simulation.failures import FailureEvent, FailureInjector
+from repro.simulation.failures import (
+    FailureEvent,
+    FailureInjector,
+    FaultPlan,
+    install_control_plane_faults,
+)
 from repro.simulation.engine import (
     EventScheduler,
     PeriodicTask,
@@ -32,6 +37,8 @@ from repro.simulation.workload import (
 __all__ = [
     "FailureInjector",
     "FailureEvent",
+    "FaultPlan",
+    "install_control_plane_faults",
     "EventScheduler",
     "ScheduledEvent",
     "PeriodicTask",

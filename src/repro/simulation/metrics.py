@@ -60,6 +60,32 @@ class SimulationReport:
     failure_reasons: Dict[str, int]
     window_samples: Tuple[WindowSample, ...]
     mean_phi: Optional[float]
+    # fault-tolerance accounting (all zero on fault-free runs)
+    #: sessions admitted over the run
+    sessions_opened: int = 0
+    #: sessions hit by a fault (node or link)
+    sessions_disrupted: int = 0
+    #: disrupted sessions re-admitted by crash-triggered re-composition
+    sessions_recovered: int = 0
+    #: disrupted sessions permanently lost
+    sessions_killed: int = 0
+    #: probe messages spent on recovery re-compositions (not part of the
+    #: Fig. 6(b) overhead figure, which counts first-composition traffic)
+    recovery_probe_messages: int = 0
+    #: mean disruption-to-readmission latency of recovered sessions
+    mean_recovery_latency_s: float = 0.0
+    #: global-state update messages dropped by the lossy management plane
+    state_updates_lost: int = 0
+    #: probe messages dropped by the lossy control channel
+    probe_messages_lost: int = 0
+
+    @property
+    def session_survival_rate(self) -> float:
+        """Fraction of admitted sessions never permanently lost to a
+        fault (1.0 on a fault-free run)."""
+        if self.sessions_opened == 0:
+            return 1.0
+        return 1.0 - self.sessions_killed / self.sessions_opened
 
     @property
     def success_rate(self) -> float:
@@ -175,6 +201,14 @@ class MetricsCollector:
         duration_s: float,
         state_update_messages: int = 0,
         aggregation_messages: int = 0,
+        sessions_opened: int = 0,
+        sessions_disrupted: int = 0,
+        sessions_recovered: int = 0,
+        sessions_killed: int = 0,
+        recovery_probe_messages: int = 0,
+        mean_recovery_latency_s: float = 0.0,
+        state_updates_lost: int = 0,
+        probe_messages_lost: int = 0,
     ) -> SimulationReport:
         phis = [r.phi for r in self._records if r.success and r.phi is not None]
         return SimulationReport(
@@ -189,4 +223,12 @@ class MetricsCollector:
             failure_reasons=self.failure_reasons(),
             window_samples=self.window_samples,
             mean_phi=sum(phis) / len(phis) if phis else None,
+            sessions_opened=sessions_opened,
+            sessions_disrupted=sessions_disrupted,
+            sessions_recovered=sessions_recovered,
+            sessions_killed=sessions_killed,
+            recovery_probe_messages=recovery_probe_messages,
+            mean_recovery_latency_s=mean_recovery_latency_s,
+            state_updates_lost=state_updates_lost,
+            probe_messages_lost=probe_messages_lost,
         )

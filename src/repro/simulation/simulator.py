@@ -22,7 +22,7 @@ from typing import Optional
 from repro.core.acp import ACPComposer
 from repro.core.composer import Composer
 from repro.core.tuning import ProbingRatioTuner
-from repro.middleware.session import SessionManager
+from repro.middleware.session import RecoveryPolicy, SessionManager
 from repro.observability import NULL_RECORDER, Recorder
 from repro.placement.migration import ComponentMigrationManager
 from repro.simulation.failures import FailureInjector
@@ -45,6 +45,7 @@ class StreamProcessingSimulator:
         migration: Optional[ComponentMigrationManager] = None,
         failures: Optional[FailureInjector] = None,
         recorder: Optional[Recorder] = None,
+        recovery: Optional[RecoveryPolicy] = None,
     ) -> None:
         if sampling_period_s <= 0.0:
             raise ValueError(f"sampling period must be positive: {sampling_period_s}")
@@ -55,6 +56,8 @@ class StreamProcessingSimulator:
         self.tuner = tuner
         self.migration = migration
         self.failures = failures
+        self.recovery = recovery
+        self._recovery_sweep_pending = False
         if tuner is not None:
             if not isinstance(composer, ACPComposer):
                 raise ValueError("only the ACP composer accepts a probing-ratio tuner")
@@ -83,6 +86,7 @@ class StreamProcessingSimulator:
             system.allocator,
             clock=lambda: self.scheduler.now,
             recorder=self.recorder,
+            recovery=recovery,
         )
         # composers read the simulated clock for reservation deadlines
         composer.context.clock = lambda: self.scheduler.now
@@ -107,9 +111,11 @@ class StreamProcessingSimulator:
             )
         )
         if session_id is not None:
+            # close_or_abandon: the session may be gone (crash-killed) or
+            # still RECOVERING when its natural lifetime ends
             self.scheduler.schedule_after(
                 request.duration,
-                lambda sid=session_id: self.sessions.close_if_open(sid),
+                lambda sid=session_id: self.sessions.close_or_abandon(sid),
                 name=f"close#{session_id}",
             )
         self._schedule_next_arrival()
@@ -147,6 +153,32 @@ class StreamProcessingSimulator:
             self.failures.run_round(
                 sessions=self.sessions, now=self.scheduler.now
             )
+            if self.recovery is not None:
+                self._maybe_schedule_recovery(self.recovery.detection_delay_s)
+
+    def _maybe_schedule_recovery(self, delay_s: float) -> None:
+        """Schedule one recovery sweep if sessions await re-composition.
+
+        At most one sweep is in flight at a time; the first after a fault
+        round fires after the policy's detection delay, and follow-up
+        sweeps (for sessions whose re-composition failed and gets retried
+        until the deadline) are paced at least a second apart so a
+        zero-delay policy cannot spin the scheduler at one timestamp.
+        """
+        if self._recovery_sweep_pending:
+            return
+        if self.sessions.recovering_count == 0:
+            return
+        self._recovery_sweep_pending = True
+        self.scheduler.schedule_after(
+            delay_s, self._on_recovery_sweep, name="recovery"
+        )
+
+    def _on_recovery_sweep(self) -> None:
+        self._recovery_sweep_pending = False
+        self.sessions.recover_pending(now=self.scheduler.now)
+        assert self.recovery is not None
+        self._maybe_schedule_recovery(max(self.recovery.detection_delay_s, 1.0))
 
     # -- runs -------------------------------------------------------------------
 
@@ -156,8 +188,11 @@ class StreamProcessingSimulator:
             raise ValueError(f"duration must be positive, got {duration_s}")
         state = self.system.global_state
         aggregation = self.system.aggregation
+        control = self.composer.context.control
         state_messages_before = state.total_update_messages
         aggregation_messages_before = aggregation.broadcast_messages
+        state_lost_before = state.total_updates_lost
+        probes_lost_before = control.messages_lost
         if self.recorder.enabled:
             self.recorder.emit(
                 "sim.start",
@@ -205,6 +240,14 @@ class StreamProcessingSimulator:
             - state_messages_before,
             aggregation_messages=aggregation.broadcast_messages
             - aggregation_messages_before,
+            sessions_opened=self.sessions.sessions_created,
+            sessions_disrupted=self.sessions.sessions_disrupted,
+            sessions_recovered=self.sessions.sessions_recovered,
+            sessions_killed=self.sessions.sessions_killed,
+            recovery_probe_messages=self.sessions.recovery_probe_messages,
+            mean_recovery_latency_s=self.sessions.mean_recovery_latency_s,
+            state_updates_lost=state.total_updates_lost - state_lost_before,
+            probe_messages_lost=control.messages_lost - probes_lost_before,
         )
         if self.recorder.enabled:
             self.recorder.emit(

@@ -29,6 +29,7 @@ rule; with static QoS they simply never fire).
 
 from __future__ import annotations
 
+import random
 from typing import Dict, Iterable, Optional
 
 import numpy as np
@@ -70,6 +71,13 @@ class GlobalStateManager:
         self.node_update_messages = 0
         #: messages spent on overlay-link reports to the aggregation node
         self.link_update_messages = 0
+        #: update messages the (lossy) management plane dropped; the
+        #: snapshot they carried stays stale until the next drift trigger
+        self.node_updates_lost = 0
+        self.link_updates_lost = 0
+        # state-update loss is off by default; see set_update_loss()
+        self._update_loss_probability = 0.0
+        self._loss_rng: Optional[random.Random] = None
         #: monotone epochs, bumped whenever a published snapshot changes;
         #: consumers (``repro.core.fastscore``) key derived caches on them
         self.node_version = 0
@@ -133,6 +141,32 @@ class GlobalStateManager:
 
     # -- update path ---------------------------------------------------------
 
+    def set_update_loss(
+        self, probability: float, rng: Optional[random.Random] = None
+    ) -> None:
+        """Make the management plane lossy: each triggered update message is
+        dropped independently with ``probability``.
+
+        A dropped update leaves both the published snapshot *and* the
+        last-reported raw value untouched, so the entity keeps re-triggering
+        at every subsequent drift event until a report gets through — the
+        snapshot goes genuinely stale rather than merely
+        threshold-quantised.  The loss draws come from a dedicated ``rng``
+        stream (never a composer's), so enabling zero-probability loss
+        changes nothing.
+        """
+        if not 0.0 <= probability < 1.0:
+            raise ValueError(f"probability must be in [0, 1), got {probability}")
+        self._update_loss_probability = probability
+        if probability > 0.0:
+            self._loss_rng = rng if rng is not None else random.Random(0)
+
+    def _update_lost(self) -> bool:
+        if self._update_loss_probability <= 0.0:
+            return False
+        assert self._loss_rng is not None
+        return self._loss_rng.random() < self._update_loss_probability
+
     def _on_node_change(self, node: Node) -> None:
         reported = self._node_reported[node.node_id]
         threshold = self._node_thresholds[node.node_id]
@@ -144,6 +178,9 @@ class GlobalStateManager:
             )
         )
         if drift_exceeds:
+            if self._update_lost():
+                self.node_updates_lost += 1
+                return
             self._node_snapshots[node.node_id] = self._quantize_node(node)
             self._node_reported[node.node_id] = current
             self.node_update_messages += 1
@@ -152,6 +189,9 @@ class GlobalStateManager:
     def _on_link_change(self, link: OverlayLink) -> None:
         reported = self._link_reported[link.link_id]
         if abs(link.available_kbps - reported) > self._link_thresholds[link.link_id]:
+            if self._update_lost():
+                self.link_updates_lost += 1
+                return
             self._link_snapshots[link.link_id] = self._quantize_link(link)
             self._link_reported[link.link_id] = link.available_kbps
             self.link_update_messages += 1
@@ -200,6 +240,10 @@ class GlobalStateManager:
     @property
     def total_update_messages(self) -> int:
         return self.node_update_messages + self.link_update_messages
+
+    @property
+    def total_updates_lost(self) -> int:
+        return self.node_updates_lost + self.link_updates_lost
 
     def max_drift_fraction(self) -> float:
         """Largest current drift as a fraction of capacity (diagnostics)."""

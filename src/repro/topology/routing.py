@@ -22,6 +22,18 @@ trees the event can actually affect:
   path must enter ``r`` through a previously-reachable neighbour) — and
   nothing else, which matters when crashes have partitioned the mesh.
 
+Link faults (:meth:`set_down_links`) get the same treatment at finer
+granularity — a down overlay link is excluded from the routing matrix
+exactly like a link adjacent to a down endpoint:
+
+* a **link failure** drops only the trees that use the link as a *tree
+  edge* (one endpoint is the predecessor of the other); removing a
+  non-tree edge provably cannot change any shortest path, so every other
+  tree survives untouched;
+* a **link recovery** can only create shortcuts reachable through one of
+  its endpoints, so it drops the trees whose reachable set touches either
+  endpoint.
+
 Each tree carries a **row version** (the topology epoch it was solved at);
 derived caches (``repro.core.fastscore``) key per-source state on
 :meth:`row_version` so a churn event rebuilds only the affected columns.
@@ -123,6 +135,7 @@ class OverlayRouter:
         self._incremental = incremental
         self.recorder = recorder
         self._down_nodes: frozenset = frozenset()
+        self._down_links: frozenset = frozenset()
         #: monotone topology epoch, bumped once per down-set change; per
         #: source, :meth:`row_version` is the finer-grained cache key
         self.epoch = 0
@@ -182,18 +195,27 @@ class OverlayRouter:
         self._link_available[link.link_id] = link.available_kbps
 
     def _build_matrix(self) -> None:
-        """CSR routing graph for the current down set.
+        """CSR routing graph for the current down sets.
 
         Links adjacent to a down node are removed — a crashed node cannot
-        relay overlay traffic.
+        relay overlay traffic — and so are links that are down themselves
+        (a failed link is a down endpoint at per-link granularity).
         """
         n = len(self.network)
-        if self._down_nodes:
-            down = np.fromiter(
-                # repro-lint: disable=DET103 -- feeds np.isin masks only; element order is unobservable
-                self._down_nodes, dtype=np.int64, count=len(self._down_nodes)
-            )
-            keep = ~(np.isin(self._link_a, down) | np.isin(self._link_b, down))
+        if self._down_nodes or self._down_links:
+            keep = np.ones(len(self._link_a), dtype=bool)
+            if self._down_nodes:
+                down = np.fromiter(
+                    # repro-lint: disable=DET103 -- feeds np.isin masks only; element order is unobservable
+                    self._down_nodes, dtype=np.int64, count=len(self._down_nodes)
+                )
+                keep &= ~(np.isin(self._link_a, down) | np.isin(self._link_b, down))
+            if self._down_links:
+                down_links = np.fromiter(
+                    # repro-lint: disable=DET103 -- feeds a boolean index assignment; element order is unobservable
+                    self._down_links, dtype=np.int64, count=len(self._down_links)
+                )
+                keep[down_links] = False
             link_a = self._link_a[keep]
             link_b = self._link_b[keep]
             delays = self._link_delay[keep]
@@ -387,6 +409,96 @@ class OverlayRouter:
                 down=len(down),
                 dropped_trees=dropped,
                 patched_trees=patched,
+                eager=False,
+            )
+
+    @property
+    def down_links(self) -> frozenset:
+        return self._down_links
+
+    def set_down_links(self, link_ids: Iterable[int]) -> None:
+        """Declare the set of failed overlay links and re-route around them.
+
+        The per-link analogue of :meth:`set_down_nodes`.  Incremental mode
+        drops only the trees a change can affect:
+
+        * a failed link invalidates a tree only when it is one of the
+          tree's edges (an endpoint is the other's predecessor) — removing
+          an edge no shortest path uses cannot change any answer;
+        * a recovered link invalidates a tree only when the tree already
+          reaches one of its endpoints — the only ways a new edge can
+          shorten or create a path from that source.
+
+        Callers batch co-temporal link failures and recoveries into one
+        call, mirroring the node-churn batching contract.
+        """
+        down = frozenset(link_ids)
+        if down == self._down_links:
+            return
+        for link_id in sorted(down - self._down_links):
+            if not 0 <= link_id < len(self.network.links):
+                raise ValueError(f"unknown overlay link id {link_id}")
+        newly_down = down - self._down_links
+        newly_up = self._down_links - down
+        self._down_links = down
+        self.epoch += 1
+        self._build_matrix()
+        observing = self.recorder.enabled
+        if not self._incremental:
+            dropped = len(self._trees)
+            self._solve_all()
+            if observing:
+                self.recorder.emit(
+                    "router.link_churn",
+                    epoch=self.epoch,
+                    down=len(down),
+                    dropped_trees=dropped,
+                    eager=True,
+                )
+            return
+
+        failed = (
+            # repro-lint: disable=DET103 -- feeds vectorised any() masks only; element order is unobservable
+            np.fromiter(newly_down, dtype=np.int64, count=len(newly_down))
+            if newly_down
+            else None
+        )
+        recovered_ends = None
+        if newly_up:
+            up = np.fromiter(
+                # repro-lint: disable=DET103 -- feeds tree.finite[...].any() only; element order is unobservable
+                newly_up, dtype=np.int64, count=len(newly_up)
+            )
+            recovered_ends = np.concatenate((self._link_a[up], self._link_b[up]))
+
+        dropped = 0
+        for source in list(self._trees):
+            tree = self._trees[source]
+            affected = False
+            if failed is not None:
+                ends_a = self._link_a[failed]
+                ends_b = self._link_b[failed]
+                # tree edge test: the link is used iff one endpoint is the
+                # tree predecessor of the other (and that other is reached)
+                affected = bool(
+                    np.any(
+                        (tree.finite[ends_a] & (tree.predecessors[ends_a] == ends_b))
+                        | (tree.finite[ends_b] & (tree.predecessors[ends_b] == ends_a))
+                    )
+                )
+            if not affected and recovered_ends is not None:
+                affected = bool(tree.finite[recovered_ends].any())
+            if affected:
+                del self._trees[source]
+                self._path_cache.pop(source, None)
+                self._qos_cache.pop(source, None)
+                dropped += 1
+        if observing:
+            self.recorder.emit(
+                "router.link_churn",
+                epoch=self.epoch,
+                down=len(down),
+                dropped_trees=dropped,
                 eager=False,
             )
 

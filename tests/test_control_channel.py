@@ -1,0 +1,121 @@
+"""Tests for the control-plane channel seam and slack-bounded retries.
+
+The ``ControlChannel`` on the composition context is the only legal
+probe-delivery path (DEVELOPMENT.md).  These tests pin its two key
+contracts: a zero-loss channel reproduces the perfect channel's outcomes
+exactly, and the prober's retry budget is bounded by the request's
+remaining QoS delay slack.
+"""
+
+import random
+
+import pytest
+
+from repro.core import ACPComposer
+from repro.core.control import (
+    LossyControlChannel,
+    PerfectControlChannel,
+    delay_slack_ms,
+)
+from tests.conftest import build_small_system, make_request, qv
+
+
+class TestDelaySlack:
+    def test_slack_is_remaining_delay_budget(self):
+        assert delay_slack_ms(qv(120.0), qv(200.0)) == pytest.approx(80.0)
+
+    def test_overspent_budget_gives_negative_slack(self):
+        assert delay_slack_ms(qv(250.0), qv(200.0)) == pytest.approx(-50.0)
+
+
+class TestChannels:
+    def test_perfect_channel_always_delivers(self):
+        channel = PerfectControlChannel()
+        assert channel.lossless
+        delivered, delay_ms = channel.send()
+        assert delivered
+        assert delay_ms == 0.0
+        assert channel.messages_sent == 1
+        assert channel.messages_lost == 0
+
+    def test_lossy_channel_validation(self):
+        with pytest.raises(ValueError, match="loss_probability"):
+            LossyControlChannel(1.0)
+        with pytest.raises(ValueError, match="delay_ms"):
+            LossyControlChannel(0.1, delay_ms=-1.0)
+        with pytest.raises(ValueError, match="max_retries"):
+            LossyControlChannel(0.1, max_retries=-1)
+
+    def test_lossy_channel_counts_losses(self):
+        channel = LossyControlChannel(0.5, rng=random.Random(3))
+        delivered = [channel.send()[0] for _ in range(200)]
+        assert channel.messages_sent == 200
+        assert channel.messages_lost == delivered.count(False)
+        assert 0 < channel.messages_lost < 200
+
+    def test_zero_loss_channel_consumes_no_randomness(self):
+        rng = random.Random(5)
+        reference = random.Random(5).random()
+        channel = LossyControlChannel(0.0, rng=rng)
+        for _ in range(10):
+            assert channel.send() == (True, 0.0)
+        assert rng.random() == reference
+        assert channel.messages_lost == 0
+
+
+def _compose_once(channel=None, probing_ratio=1.0):
+    """One seeded composition on a fresh small system."""
+    system = build_small_system(seed=9)
+    context = system.composition_context(rng=random.Random(3))
+    if channel is not None:
+        context.control = channel
+    composer = ACPComposer(context, probing_ratio=probing_ratio)
+    template = system.templates.sample(random.Random(4))
+    request = make_request(template.graph, delay_budget=500.0, loss_budget=0.4)
+    return composer.compose(request), context
+
+
+class TestProbeDelivery:
+    def test_zero_loss_channel_reproduces_perfect_outcomes(self):
+        """The differential guard: a LossyControlChannel with p=0 and no
+        delay must be decision-identical to the perfect default — the
+        retry machinery may not perturb a healthy control plane."""
+        perfect_outcome, perfect_context = _compose_once()
+        lossy_outcome, lossy_context = _compose_once(
+            LossyControlChannel(0.0, rng=random.Random(11))
+        )
+        assert repr(perfect_outcome) == repr(lossy_outcome)
+        assert (
+            perfect_context.control.messages_sent
+            == lossy_context.control.messages_sent
+        )
+
+    def test_delay_eating_the_slack_drops_probes(self):
+        """A per-attempt control delay larger than the whole QoS delay
+        budget must drop every probe — delivered-but-late is lost."""
+        outcome, context = _compose_once(
+            LossyControlChannel(0.0, delay_ms=1e6, rng=random.Random(1))
+        )
+        assert not outcome.success
+        assert outcome.failure_reason == "probes_dropped"
+        assert context.control.messages_sent > 0
+
+    def test_retries_recover_from_loss(self):
+        """With a generous retry budget and slack, a moderately lossy
+        channel still composes — at a higher message cost."""
+        outcome, context = _compose_once(
+            LossyControlChannel(0.3, rng=random.Random(2), max_retries=5)
+        )
+        reference, _ = _compose_once()
+        assert outcome.success
+        assert context.control.messages_lost > 0
+        # retries cost real messages: more sent than the perfect run
+        assert outcome.probe_messages > reference.probe_messages
+
+    def test_no_retries_under_total_loss_fails_cleanly(self):
+        outcome, context = _compose_once(
+            LossyControlChannel(0.99, rng=random.Random(6), max_retries=0)
+        )
+        assert not outcome.success
+        assert outcome.failure_reason == "probes_dropped"
+        assert context.control.messages_lost == context.control.messages_sent

@@ -13,6 +13,8 @@ from repro.discovery.deployment import DeploymentProfile
 from repro.experiments.config import ExperimentScale, default_spec
 from repro.experiments.reporting import format_report_summary
 from repro.experiments.runner import run_spec
+from repro.middleware.session import RecoveryPolicy
+from repro.simulation.failures import FaultPlan
 from repro.simulation.workload import RateSchedule
 
 _SCALE = ExperimentScale(
@@ -68,3 +70,54 @@ class TestSameSeedByteIdentical:
         first = run_spec(_spec(seed=7))
         second = run_spec(_spec(seed=8))
         assert repr(first) != repr(second)
+
+
+#: The full cocktail at unit-test scale: node and link churn, lossy and
+#: delayed probes, and state-update loss, all drawing from seed-derived
+#: streams.
+_COCKTAIL = FaultPlan(
+    node_fail_probability=0.05,
+    node_recover_probability=0.5,
+    link_fail_probability=0.03,
+    link_recover_probability=0.5,
+    probe_loss_probability=0.05,
+    probe_delay_ms=1.0,
+    max_probe_retries=2,
+    state_update_loss_probability=0.10,
+    period_s=30.0,
+)
+
+
+class TestFaultDeterminism:
+    def test_fault_cocktail_replays_exactly(self):
+        """Same seed + same FaultPlan ⇒ byte-identical run reports.
+
+        Every fault stream (churn, probe loss, state-update loss) must be
+        a pure function of the spec's seeds — one draw from a shared or
+        unseeded stream anywhere would diverge here."""
+        spec = _spec().with_faults(
+            _COCKTAIL, RecoveryPolicy(recovery_deadline_s=20.0)
+        )
+        first = run_spec(spec)
+        second = run_spec(spec)
+        assert repr(first) == repr(second)
+        assert first.sessions_disrupted > 0  # the cocktail actually bit
+
+    def test_zero_fault_plan_is_decision_identical(self):
+        """A zero FaultPlan must not wire anything: the run is
+        byte-identical to a spec with no fault machinery at all (the
+        CI-enforced differential of the fault-model expansion)."""
+        plain = run_spec(_spec())
+        zeroed = run_spec(_spec().with_faults(FaultPlan.none()))
+        assert repr(plain) == repr(zeroed)
+
+    def test_recovery_policy_changes_outcomes_not_determinism(self):
+        """Recovery alters the trajectory (sessions survive) but each
+        variant must itself replay exactly."""
+        killed = run_spec(_spec().with_faults(_COCKTAIL))
+        recovered = run_spec(
+            _spec().with_faults(_COCKTAIL, RecoveryPolicy())
+        )
+        assert repr(killed) != repr(recovered)
+        assert killed.sessions_recovered == 0
+        assert recovered.sessions_killed <= killed.sessions_killed

@@ -9,6 +9,7 @@ from repro.middleware.session import SessionManager, SessionState
 from repro.model.node import InsufficientResourcesError
 from repro.simulation import (
     FailureInjector,
+    FaultPlan,
     RateSchedule,
     StreamProcessingSimulator,
     WorkloadGenerator,
@@ -207,6 +208,192 @@ class TestFailureInjector:
             assert all(abs(v) < 1e-6 for v in node.allocated.values)
         for link in system.network.links:
             assert abs(link.allocated_kbps) < 1e-6
+
+
+class TestFaultPlan:
+    def test_zero_plan_injects_nothing(self):
+        plan = FaultPlan.none()
+        assert plan.is_zero
+        assert not plan.injects_churn
+        assert not plan.injects_control_faults
+
+    def test_injection_flags(self):
+        assert FaultPlan(node_fail_probability=0.1).injects_churn
+        assert FaultPlan(link_fail_probability=0.1).injects_churn
+        assert FaultPlan(probe_loss_probability=0.1).injects_control_faults
+        assert FaultPlan(probe_delay_ms=1.0).injects_control_faults
+        assert FaultPlan(
+            state_update_loss_probability=0.1
+        ).injects_control_faults
+        assert not FaultPlan(probe_loss_probability=0.1).injects_churn
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="node_fail_probability"):
+            FaultPlan(node_fail_probability=1.5)
+        with pytest.raises(ValueError, match="link_recover_probability"):
+            FaultPlan(link_recover_probability=0.0)
+        with pytest.raises(ValueError, match="probe_loss_probability"):
+            FaultPlan(probe_loss_probability=1.0)
+        with pytest.raises(ValueError, match="probe_delay_ms"):
+            FaultPlan(probe_delay_ms=-1.0)
+        with pytest.raises(ValueError, match="max_probe_retries"):
+            FaultPlan(max_probe_retries=-1)
+        with pytest.raises(ValueError, match="max_concurrent_failures"):
+            FaultPlan(max_concurrent_failures=0)
+        with pytest.raises(ValueError, match="period_s"):
+            FaultPlan(period_s=0.0)
+
+    def test_injector_adopts_plan_knobs(self):
+        system = build_small_system(seed=5, num_nodes=12)
+        plan = FaultPlan(
+            node_fail_probability=0.2,
+            link_fail_probability=0.1,
+            max_concurrent_failures=4,
+            period_s=30.0,
+        )
+        injector = FailureInjector(system.network, system.router, plan=plan)
+        assert injector.plan is plan
+        assert injector.fail_probability == 0.2
+        assert injector.link_fail_probability == 0.1
+        assert injector.max_concurrent_failures == 4
+        assert injector.period_s == 30.0
+
+
+class TestLinkFaults:
+    @pytest.fixture
+    def harness(self):
+        system = build_small_system(seed=4, num_nodes=12)
+        injector = FailureInjector(
+            system.network, system.router, rng=random.Random(2)
+        )
+        return system, injector
+
+    def test_link_failure_reroutes(self, micro_router):
+        # v0 -> v2 normally relays over e0+e1 (20 ms < direct 25 ms)
+        assert micro_router.overlay_path(0, 2) == (0, 1)
+        micro_router.set_down_links({0})
+        assert micro_router.overlay_path(0, 2) == (2,)  # the direct link
+        micro_router.set_down_links(set())
+        assert micro_router.overlay_path(0, 2) == (0, 1)
+
+    def test_fail_and_recover_links_roundtrip(self, harness):
+        system, injector = harness
+        before = system.router.epoch
+        events = injector.fail_links([0, 3], now=1.0)
+        assert [e.link_id for e in events] == [0, 3]
+        assert all(e.kind == "link_down" for e in events)
+        assert all(e.node_id == -1 for e in events)
+        assert system.router.epoch == before + 1  # one batched update
+        assert injector.down_links == frozenset({0, 3})
+        assert system.router.down_links == frozenset({0, 3})
+        events = injector.recover_links([0], now=2.0)
+        assert events[0].kind == "link_up"
+        assert events[0].link_id == 0
+        assert injector.down_links == frozenset({3})
+        assert system.router.down_links == frozenset({3})
+
+    def test_link_batch_validation(self, harness):
+        _system, injector = harness
+        with pytest.raises(ValueError, match="duplicate"):
+            injector.fail_links([1, 1])
+        with pytest.raises(ValueError, match="unknown overlay link"):
+            injector.fail_links([10_000])
+        with pytest.raises(ValueError, match="unknown overlay link"):
+            injector.fail_links([-1])
+        injector.fail_links([1])
+        with pytest.raises(ValueError, match="already down"):
+            injector.fail_links([1])
+        with pytest.raises(ValueError, match="not down"):
+            injector.recover_links([2])
+        with pytest.raises(ValueError, match="duplicate"):
+            injector.recover_links([1, 1])
+
+    def test_link_failure_disrupts_crossing_sessions(self, harness):
+        system, injector = harness
+        context = system.composition_context(rng=random.Random(1))
+        sessions = SessionManager(
+            ACPComposer(context, probing_ratio=1.0), system.allocator
+        )
+        template = system.templates.sample(random.Random(3))
+        request = make_request(
+            template.graph, delay_budget=500.0, loss_budget=0.4
+        )
+        session_id, _outcome = sessions.find(request)
+        assert session_id is not None
+        crossed = sorted(sessions.session(session_id).allocation.link_demands)
+        assert crossed  # the composition spans at least one overlay link
+        events = injector.fail_links([crossed[0]], sessions=sessions, now=5.0)
+        assert events[0].sessions_killed == 1
+        assert sessions.active_session_count == 0
+        for node in system.network.nodes:
+            assert all(abs(v) < 1e-6 for v in node.allocated.values)
+        for link in system.network.links:
+            assert abs(link.allocated_kbps) < 1e-6
+
+    def test_round_cap_counts_nodes_and_links_combined(self):
+        system = build_small_system(seed=5, num_nodes=12)
+        injector = FailureInjector(
+            system.network,
+            system.router,
+            rng=random.Random(3),
+            plan=FaultPlan(
+                node_fail_probability=1.0,  # everything wants to crash
+                link_fail_probability=1.0,
+                node_recover_probability=0.01,
+                link_recover_probability=0.01,
+                max_concurrent_failures=5,
+            ),
+        )
+        injector.run_round(now=0.0)
+        assert injector.concurrent_failures == 5
+        assert len(injector.down_nodes) + len(injector.down_links) == 5
+
+    def test_stochastic_link_round_records_events(self):
+        system = build_small_system(seed=6, num_nodes=12)
+        injector = FailureInjector(
+            system.network,
+            system.router,
+            rng=random.Random(7),
+            plan=FaultPlan(
+                link_fail_probability=0.5,
+                link_recover_probability=0.5,
+                max_concurrent_failures=6,
+            ),
+        )
+        injector.run_round(now=0.0)
+        injector.run_round(now=60.0)
+        kinds = {event.kind for event in injector.events}
+        assert "link_down" in kinds
+        assert all(
+            event.link_id is not None
+            for event in injector.events
+            if event.kind in ("link_down", "link_up")
+        )
+
+    def test_node_only_plan_replays_legacy_churn_schedule(self):
+        """A plan without link faults must draw the exact node-churn
+        randomness the legacy constructor drew — no hidden link draws."""
+        legacy_system = build_small_system(seed=8, num_nodes=12)
+        legacy = FailureInjector(
+            legacy_system.network,
+            legacy_system.router,
+            fail_probability=0.3,
+            recover_probability=0.5,
+            rng=random.Random(21),
+        )
+        planned_system = build_small_system(seed=8, num_nodes=12)
+        planned = FailureInjector(
+            planned_system.network,
+            planned_system.router,
+            rng=random.Random(21),
+            plan=FaultPlan(
+                node_fail_probability=0.3, node_recover_probability=0.5
+            ),
+        )
+        for now in (0.0, 60.0, 120.0):
+            legacy.run_round(now=now)
+            planned.run_round(now=now)
+        assert legacy.events == planned.events
 
 
 class TestBatchedChurn:

@@ -85,6 +85,34 @@ def test_extracted_paths_have_optimal_length(seed):
 
 @given(
     st.integers(min_value=0, max_value=300),
+    st.sets(st.integers(min_value=0, max_value=20), max_size=4),
+)
+@settings(max_examples=25, deadline=None)
+def test_distances_match_networkx_after_link_failures(seed, down_links):
+    """Per-link failures must route exactly like deleting those edges."""
+    network = random_mesh(seed)
+    router = OverlayRouter(network)
+    down_links = {l for l in down_links if l < len(network.links)}
+    router.set_down_links(down_links)
+    graph = nx.Graph()
+    graph.add_nodes_from(n.node_id for n in network.nodes)
+    for link in network.links:
+        if link.link_id not in down_links:
+            graph.add_edge(link.node_a, link.node_b, weight=link.delay_ms)
+    reference = dict(nx.all_pairs_dijkstra_path_length(graph))
+    for a in range(len(network)):
+        for b in range(len(network)):
+            if b in reference.get(a, {}):
+                assert router.delay(a, b) == pytest.approx(reference[a][b])
+                if a != b:
+                    path = router.overlay_path(a, b)
+                    assert not set(path) & down_links
+            else:
+                assert not router.reachable(a, b)
+
+
+@given(
+    st.integers(min_value=0, max_value=300),
     st.sets(st.integers(min_value=0, max_value=11), max_size=4),
 )
 @settings(max_examples=25, deadline=None)

@@ -93,6 +93,63 @@ def test_incremental_matches_fresh_router_under_churn(seed):
         assert_routers_identical(eager, fresh, network, down)
 
 
+def random_link_churn_sequence(rng, num_links, steps):
+    """Randomised down-link trajectory: each step fails and/or heals."""
+    down = set()
+    sequence = []
+    for _ in range(steps):
+        up = [l for l in range(num_links) if l not in down]
+        failures = rng.sample(up, k=min(len(up), rng.randrange(0, 3)))
+        recoveries = rng.sample(sorted(down), k=min(len(down), rng.randrange(0, 3)))
+        down |= set(failures)
+        down -= set(recoveries)
+        sequence.append(frozenset(down))
+    return sequence
+
+
+@given(st.integers(min_value=0, max_value=400))
+@settings(max_examples=15, deadline=None)
+def test_incremental_matches_fresh_router_under_link_churn(seed):
+    """Per-link dirty-set invalidation is exact: after any link flap
+    sequence the incremental router answers like a freshly-built one."""
+    network = random_mesh(seed, num_nodes=12, extra_edges=8)
+    incremental = OverlayRouter(network, incremental=True)
+    eager = OverlayRouter(network, incremental=False)
+    rng = random.Random(seed * 17 + 3)
+    for down_links in random_link_churn_sequence(rng, len(network.links), steps=6):
+        for source in rng.sample(range(len(network)), k=4):
+            incremental.virtual_link_rows(source)
+            incremental.bottleneck_bandwidth_row(source)
+        incremental.set_down_links(down_links)
+        eager.set_down_links(down_links)
+        fresh = OverlayRouter(network, incremental=True)
+        fresh.set_down_links(down_links)
+        assert_routers_identical(incremental, fresh, network, set())
+        assert_routers_identical(eager, fresh, network, set())
+
+
+@given(st.integers(min_value=0, max_value=400))
+@settings(max_examples=10, deadline=None)
+def test_incremental_matches_under_mixed_node_and_link_churn(seed):
+    """Interleaved node crashes and link flaps — the full fault cocktail's
+    routing view — must stay exact under incremental maintenance."""
+    network = random_mesh(seed, num_nodes=12, extra_edges=8)
+    incremental = OverlayRouter(network, incremental=True)
+    rng = random.Random(seed * 13 + 5)
+    node_sequence = random_churn_sequence(rng, len(network), steps=5)
+    link_sequence = random_link_churn_sequence(rng, len(network.links), steps=5)
+    for down, down_links in zip(node_sequence, link_sequence):
+        for source in rng.sample(range(len(network)), k=3):
+            if source not in down:
+                incremental.virtual_link_rows(source)
+        incremental.set_down_nodes(down)
+        incremental.set_down_links(down_links)
+        fresh = OverlayRouter(network, incremental=True)
+        fresh.set_down_nodes(down)
+        fresh.set_down_links(down_links)
+        assert_routers_identical(incremental, fresh, network, down)
+
+
 @given(st.integers(min_value=0, max_value=200))
 @settings(max_examples=10, deadline=None)
 def test_incremental_matches_under_bandwidth_churn(seed):
