@@ -3,7 +3,7 @@
 
 PYTEST := PYTHONPATH=src python -m pytest
 
-.PHONY: test lint bench bench-micro bench-macro bench-faults trace-demo
+.PHONY: test lint bench bench-micro bench-macro bench-faults bench-scale bench-scale-smoke trace-demo
 
 test:
 	$(PYTEST) -x -q tests
@@ -52,6 +52,22 @@ bench-macro:
 	$(PYTEST) -q -s benchmarks/test_macro_churn.py
 	@echo "timings: benchmarks/results/BENCH_macro.json"
 
+# Scale curve: compose p50/p99, overlay build time, and per-subsystem
+# memory at N in {600, 2k, 5k, 10k} overlay nodes under the bounded
+# configuration (LRU router caches, deduped batched topology build).
+# Results land in benchmarks/results/BENCH_scale.json; EXPERIMENTS.md's
+# Scalability section quotes them.  Budget ~10 minutes on one core.
+bench-scale:
+	$(PYTEST) -q -s benchmarks/test_scale.py
+	@echo "curve: benchmarks/results/BENCH_scale.json"
+
+# Same harness at whatever N the caller sets via BENCH_SCALE_NODES
+# (comma-separated); writes BENCH_scale_smoke.json so a smoke run can
+# never clobber the committed full curve.  CI runs this at a small N.
+bench-scale-smoke:
+	BENCH_SCALE_NODES=$${BENCH_SCALE_NODES:-300} $(PYTEST) -q -s benchmarks/test_scale.py
+	@echo "smoke point: benchmarks/results/BENCH_scale_smoke.json"
+
 # Fault-tolerance macro benchmark: the same Fig. 8-style simulation run
 # under the full fault cocktail (node crashes, link flaps, lossy control
 # plane, state-update loss) with and without crash-triggered session
@@ -64,6 +80,7 @@ bench-faults:
 	@echo "survival: benchmarks/results/BENCH_faults.json"
 
 # Full benchmark suite: every figure harness at FAST_SCALE plus the micro
-# operations.  Figure rows land in benchmarks/results/*.txt.
+# operations.  Figure rows land in benchmarks/results/*.txt.  The ~10-min
+# scale curve is excluded; run it explicitly with bench-scale.
 bench:
-	$(PYTEST) -q benchmarks
+	$(PYTEST) -q --ignore=benchmarks/test_scale.py benchmarks

@@ -73,6 +73,12 @@ class CompositionContext:
     control: ControlChannel = field(default_factory=PerfectControlChannel)
     #: how component QoS responds to host load (factors 0 = static QoS)
     qos_model: LoadDependentQoSModel = field(default_factory=LoadDependentQoSModel)
+    #: resolved scoring backend for the vectorised hot path ("numpy" or
+    #: "numba"); build_system resolves the config's "auto" before wiring
+    scoring_kernel: str = "numpy"
+    #: bound on the scorer's per-source stale-bandwidth-row cache (None =
+    #: unbounded); keeps scorer memory O(bound × N) at large N
+    scorer_row_cache_size: Optional[int] = None
     #: lazily constructed vectorised scoring engine (see fast_scorer())
     _fast_scorer: Optional["FastScorer"] = field(
         default=None, init=False, repr=False, compare=False

@@ -44,15 +44,18 @@ only matter when a risk ratio lands exactly on a tie-bucket boundary.
 from __future__ import annotations
 
 import math
+import sys
 from typing import TYPE_CHECKING, Dict, FrozenSet, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro.core.scoring_kernel import get_scoring_kernel
 from repro.core.selection import (
     RISK_TIE_EPSILON,
     RankingPolicy,
     ScoredCandidate,
 )
+from repro.model.lru import LRUDict
 from repro.model.component import Component
 from repro.model.qos import MetricKind, QoSVector
 from repro.model.qos_model import LoadDependentQoSModel
@@ -315,6 +318,9 @@ class FastScorer:
     def __init__(self, context: "CompositionContext") -> None:
         self.context = context
         self.schema = None
+        #: elementwise batch backend (numpy reference or compiled numba);
+        #: all backends are byte-identical, so this is a pure speed knob
+        self.kernel = get_scoring_kernel(context.scoring_kernel)
         self._tables: Dict[int, _CandidateTable] = {}
         #: upstream node -> (link_version, row_version, full row of stale
         #: bottleneck kbps per destination node, -inf where unreachable).
@@ -322,10 +328,53 @@ class FastScorer:
         #: only the rows whose shortest-path tree actually changed.
         #: Mask-independent: masked candidates are already excluded from
         #: ``qualified``, so their row entries are never read.
-        self._bandwidth_rows: Dict[int, Tuple[int, int, np.ndarray]] = {}
+        #: LRU-bounded (scorer memory stays O(bound × N)); an evicted
+        #: source is simply re-derived on next use, value-identically.
+        self._bandwidth_rows: LRUDict[int, Tuple[int, int, np.ndarray]] = LRUDict(
+            capacity=context.scorer_row_cache_size,
+            on_evict=self._on_bandwidth_row_evicted,
+        )
         self._alive: Optional[np.ndarray] = None
         #: shared all-True mask reused whenever no node is down; never mutated
         self._all_alive: Optional[np.ndarray] = None
+
+    def _on_bandwidth_row_evicted(
+        self, source: int, entry: Tuple[int, int, np.ndarray]
+    ) -> None:
+        recorder = self.context.recorder
+        if recorder.enabled:
+            recorder.inc("fastscore.bw_row_evictions")
+
+    def memory_footprint(self) -> Dict[str, int]:
+        """Approximate resident bytes per scorer substructure.
+
+        ``nbytes`` over the candidate tables' arrays and the cached
+        bottleneck-bandwidth rows; BENCH_scale uses this to attribute
+        memory per subsystem.
+        """
+        tables = 0
+        for table in self._tables.values():
+            for slot in (
+                table.component_ids,
+                table.node_ids,
+                table.max_input_rate,
+                table.base_delay,
+                table.base_loss,
+                table.input_format_bits,
+                table.attribute_bits,
+                table.capacity,
+                table.stale_available,
+                table.stale_delay,
+                table.stale_loss,
+            ):
+                if slot is not None:
+                    tables += int(slot.nbytes)
+        bandwidth_rows = sys.getsizeof(self._bandwidth_rows)
+        for _, (_, _, row) in self._bandwidth_rows.items():
+            bandwidth_rows += int(row.nbytes)
+        footprint = {"tables": tables, "bandwidth_rows": int(bandwidth_rows)}
+        footprint["total"] = sum(footprint.values())
+        return footprint
 
     def supports(self, request: StreamRequest) -> bool:
         """Whether the vectorised path applies to this request.
@@ -487,15 +536,15 @@ class FastScorer:
                 )
             mask &= format_rows
             mask &= np.isfinite(link_delay)
-            through_delay = out_delay + link_delay
-            through_loss = 1.0 - (1.0 - out_loss) * (1.0 - link_loss)
-            if accumulated_delay is None:
-                accumulated_delay = through_delay
-                accumulated_loss = through_loss
-            else:
-                accumulated_delay = np.maximum(accumulated_delay, through_delay)
-                accumulated_loss = np.maximum(accumulated_loss, through_loss)
-        if accumulated_delay is None:
+            accumulated_delay, accumulated_loss = self.kernel.through_qos(
+                out_delay,
+                out_loss,
+                link_delay,
+                link_loss,
+                accumulated_delay,
+                accumulated_loss,
+            )
+        if accumulated_delay is None or accumulated_loss is None:
             pre_delay2d = pre_loss2d = None
             accumulated_delay = np.broadcast_to(
                 candidate_delay, (probe_count, pool_size)
@@ -506,9 +555,11 @@ class FastScorer:
         else:
             pre_delay2d = accumulated_delay
             pre_loss2d = accumulated_loss
-            accumulated_delay = accumulated_delay + candidate_delay
-            accumulated_loss = 1.0 - (1.0 - accumulated_loss) * (
-                1.0 - candidate_loss
+            accumulated_delay, accumulated_loss = self.kernel.finalize_qos(
+                accumulated_delay,
+                accumulated_loss,
+                candidate_delay,
+                candidate_loss,
             )
 
         # -- qualification (Eqs. 6–8) and scores (Eqs. 9–10) ------------------
@@ -536,7 +587,7 @@ class FastScorer:
                 risk2d = self._risk(
                     accumulated_delay, accumulated_loss, bounds_additive
                 )
-                congestion2d = self._congestion(
+                congestion2d = self.kernel.congestion(
                     requirement_values, available, bandwidth_rows, qualified.shape
                 )
 
@@ -618,36 +669,3 @@ class FastScorer:
             else:
                 ratios.append(accumulated / bound)
         return np.maximum(ratios[0], ratios[1])
-
-    @staticmethod
-    def _congestion(
-        requirement_values: Tuple[float, ...],
-        available: np.ndarray,
-        bandwidth_rows: List[Tuple[float, np.ndarray]],
-        shape: Tuple[int, int],
-    ) -> np.ndarray:
-        """Eq. 10 over the ``(probes × candidates)`` batch, summing terms in
-        the scalar order.  Node-resource terms depend only on the candidate,
-        so they are computed once per dimension and broadcast over the probe
-        axis — each row receives exactly the scalar sequence of additions.
-
-        Division is only ever applied to strictly positive denominators
-        (non-positive availability contributes ``inf`` directly), so no
-        warnings fire and no errstate guard is needed.
-        """
-        total = np.zeros(shape)
-        node_term = np.empty(available.shape[0])
-        for dimension, required in enumerate(requirement_values):
-            if required <= 0.0:
-                continue
-            column = available[:, dimension]
-            node_term.fill(math.inf)
-            np.divide(required, column, out=node_term, where=column > 0.0)
-            total += node_term
-        for bandwidth_required, rows in bandwidth_rows:
-            if bandwidth_required <= 0.0:
-                continue
-            link_term = np.full(shape, math.inf)
-            np.divide(bandwidth_required, rows, out=link_term, where=rows > 0.0)
-            total += link_term
-        return total

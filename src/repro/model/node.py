@@ -164,6 +164,18 @@ class Node:
         """Invoke ``listener(self)`` after every resource change."""
         self._listeners.append(listener)
 
+    def remove_change_listener(self, listener: NodeListener) -> None:
+        """Unregister a resource-change listener (no-op when absent).
+
+        Observers that can be torn down before the node — routers, state
+        managers — must deregister in their ``close()`` so a dead observer
+        is not kept alive (and invoked) by every subsequent change.
+        """
+        try:
+            self._listeners.remove(listener)
+        except ValueError:
+            pass
+
     def add_liveness_listener(self, listener: NodeListener) -> None:
         """Invoke ``listener(self)`` after every :meth:`fail` / :meth:`recover`.
 
@@ -171,6 +183,13 @@ class Node:
         resources (bookkeeping stays intact, see :attr:`alive`), so it must
         not trigger the threshold-based global state update machinery."""
         self._liveness_listeners.append(listener)
+
+    def remove_liveness_listener(self, listener: NodeListener) -> None:
+        """Unregister a liveness listener (no-op when absent)."""
+        try:
+            self._liveness_listeners.remove(listener)
+        except ValueError:
+            pass
 
     def _notify(self) -> None:
         for listener in self._listeners:

@@ -17,6 +17,7 @@ from typing import Callable, Optional, Tuple
 
 from repro.allocation.allocator import ResourceAllocator
 from repro.core.composer import CompositionContext
+from repro.core.scoring_kernel import resolve_scoring_kernel
 from repro.discovery.deployment import ComponentDeployer, DeploymentProfile
 from repro.discovery.registry import ComponentRegistry
 from repro.model.functions import FunctionCatalog
@@ -61,6 +62,24 @@ class SystemConfig:
     #: False restores the eager all-pairs re-solve baseline (the macro
     #: churn benchmark measures the ratio between the two)
     incremental_routing: bool = True
+    #: bound on the router's per-source tree/path/QoS caches: router memory
+    #: is O(router_cache_size × N) instead of O(N²).  The default exceeds
+    #: the paper's 600-node scale, so paper-scale runs never evict and
+    #: replay byte-identically; the scale benchmark shrinks it.  None
+    #: restores the unbounded caches (the differential baseline).
+    router_cache_size: Optional[int] = 1024
+    #: bound on the scorer's per-source stale-bandwidth-row cache
+    #: (``repro.core.fastscore``); same O(bound × N) rationale.  None means
+    #: unbounded.
+    scorer_row_cache_size: Optional[int] = 512
+    #: scoring backend for the vectorised probing hot path: "numpy" (the
+    #: always-available reference), "numba" (compiled kernels, requires the
+    #: optional numba extra, errors if missing), or "auto" (numba when
+    #: importable, else numpy).  All backends make byte-identical decisions.
+    scoring_kernel: str = "auto"
+    #: sources per batched Dijkstra call during overlay construction; caps
+    #: peak build memory at O(batch × routers) instead of O(nodes × routers)
+    dijkstra_batch_size: int = 512
     seed: int = 0
     #: observability sink wired through every layer built from this
     #: config (router, composers, simulator); None means the shared
@@ -122,6 +141,8 @@ class StreamSystem:
             rng=rng or random.Random(self.config.seed + 1),
             clock=clock,
             recorder=recorder or self.recorder,
+            scoring_kernel=resolve_scoring_kernel(self.config.scoring_kernel),
+            scorer_row_cache_size=self.config.scorer_row_cache_size,
         )
 
     def mean_candidates_per_function(self) -> float:
@@ -139,6 +160,9 @@ def build_system(config: SystemConfig) -> StreamSystem:
     independent stream and changing one knob does not scramble the others.
     """
     recorder = config.recorder if config.recorder is not None else NULL_RECORDER
+    # resolve early so an unavailable/unknown backend fails at build time,
+    # not on the first compose
+    resolve_scoring_kernel(config.scoring_kernel)
     catalog = FunctionCatalog(size=config.catalog_size, num_formats=config.num_formats)
     templates = TemplateLibrary(
         catalog,
@@ -159,9 +183,13 @@ def build_system(config: SystemConfig) -> StreamSystem:
         neighbors_per_node=config.neighbors_per_node,
         bandwidth_range_kbps=config.overlay_bandwidth_kbps,
         rng=random.Random(config.seed * 7 + 3),
+        dijkstra_batch_size=config.dijkstra_batch_size,
     )
     overlay_router = OverlayRouter(
-        network, incremental=config.incremental_routing, recorder=recorder
+        network,
+        incremental=config.incremental_routing,
+        recorder=recorder,
+        tree_cache_size=config.router_cache_size,
     )
     registry = ComponentDeployer(catalog, profile=config.deployment).deploy(
         network, rng=random.Random(config.seed * 7 + 4)

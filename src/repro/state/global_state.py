@@ -30,6 +30,7 @@ rule; with static QoS they simply never fire).
 from __future__ import annotations
 
 import random
+import sys
 from typing import Dict, Iterable, Optional
 
 import numpy as np
@@ -67,6 +68,7 @@ class GlobalStateManager:
         self.network = network
         self.threshold_fraction = threshold_fraction
         self.quantization_levels = quantization_levels
+        self._closed = False
         #: messages spent on node state updates since construction
         self.node_update_messages = 0
         #: messages spent on overlay-link reports to the aggregation node
@@ -114,6 +116,46 @@ class GlobalStateManager:
                 link.capacity_kbps * threshold_fraction
             )
             link.add_change_listener(self._on_link_change)
+
+    def close(self) -> None:
+        """Detach from the network's node/link change streams.
+
+        A state manager observes every node and link; one that is replaced
+        (fresh managers per experiment on a shared network) must deregister
+        or the entities keep notifying — and referencing — the dead
+        manager forever.  Idempotent.
+        """
+        if self._closed:
+            return
+        self._closed = True
+        for node in self.network.nodes:
+            node.remove_change_listener(self._on_node_change)
+        for link in self.network.links:
+            link.remove_change_listener(self._on_link_change)
+
+    def memory_footprint(self) -> Dict[str, int]:
+        """Approximate resident bytes per state substructure.
+
+        Dense link snapshots are exact ``nbytes``; the per-node dicts are
+        ``sys.getsizeof`` estimates (container + vectors).  BENCH_scale
+        uses this to attribute memory per subsystem.
+        """
+        node_state = 0
+        for mapping in (
+            self._node_snapshots,
+            self._node_reported,
+            self._node_thresholds,
+        ):
+            node_state += sys.getsizeof(mapping)
+            for vector in mapping.values():
+                node_state += sys.getsizeof(vector) + sys.getsizeof(vector.values)
+        link_state = int(self._link_snapshots.nbytes)
+        for link_mapping in (self._link_reported, self._link_thresholds):
+            link_state += sys.getsizeof(link_mapping)
+            link_state += 32 * len(link_mapping)  # float keys/values boxes
+        footprint = {"node_state": int(node_state), "link_state": link_state}
+        footprint["total"] = sum(footprint.values())
+        return footprint
 
     # -- quantization -----------------------------------------------------------
 

@@ -130,6 +130,19 @@ class OverlayLink:
     def add_change_listener(self, listener: LinkListener) -> None:
         self._listeners.append(listener)
 
+    def remove_change_listener(self, listener: LinkListener) -> None:
+        """Unregister a bandwidth-change listener (no-op when absent).
+
+        Without this, every observer ever attached — e.g. each fresh
+        :class:`~repro.topology.routing.OverlayRouter` the differential
+        tests build on a shared network — stays referenced and keeps being
+        notified forever.
+        """
+        try:
+            self._listeners.remove(listener)
+        except ValueError:
+            pass
+
     def _notify(self) -> None:
         for listener in self._listeners:
             listener(self)
@@ -242,7 +255,9 @@ def default_node_capacity_sampler(rng: random.Random) -> ResourceVector:
 
 
 def _bridge_components(
-    pairs: Set[Tuple[int, int]], delays: np.ndarray, num_nodes: int
+    pairs: Set[Tuple[int, int]],
+    num_nodes: int,
+    rows_for: Callable[[Sequence[int]], np.ndarray],
 ) -> None:
     """Make the k-nearest-neighbour mesh connected.
 
@@ -251,6 +266,11 @@ def _bridge_components(
     compositions structurally impossible.  Bridge each component into the
     first one through the minimum-delay inter-component pair (mutates
     ``pairs`` in place).
+
+    ``rows_for(node_ids)`` supplies delay rows on demand — shape
+    ``(len(node_ids), num_nodes)`` — so bridging never needs the dense
+    all-pairs delay matrix; it fetches rows only for the (usually zero)
+    nodes stranded outside the main component.
     """
     parent = list(range(num_nodes))
 
@@ -268,9 +288,11 @@ def _bridge_components(
     groups = sorted(components.values(), key=len, reverse=True)
     base = groups[0]
     for group in groups[1:]:
+        group_rows = rows_for(group)
+        position = {node: index for index, node in enumerate(group)}
         best = min(
             ((a, b) for a in group for b in base),
-            key=lambda pair: delays[pair[0], pair[1]],
+            key=lambda pair: group_rows[position[pair[0]], pair[1]],
         )
         pairs.add((min(best), max(best)))
         base = base + group
@@ -286,6 +308,7 @@ def build_overlay_network(
         default_node_capacity_sampler
     ),
     rng: Optional[random.Random] = None,
+    dijkstra_batch_size: int = 512,
 ) -> OverlayNetwork:
     """Build the overlay mesh over an IP network (Section 4.1's recipe).
 
@@ -293,6 +316,20 @@ def build_overlay_network(
     each node links to its ``neighbors_per_node`` nearest peers by IP-layer
     delay.  Overlay link delay is the IP shortest-path delay between the
     endpoints' routers; loss grows with delay; capacity is drawn uniformly.
+
+    Construction is streamed: Dijkstra runs in batches of
+    ``dijkstra_batch_size`` deduplicated attachment routers, and each
+    node's delay row is discarded as soon as its nearest neighbours and
+    link delays are recorded — peak memory is O(batch × routers), never
+    the dense O(nodes × routers) (or O(nodes²)) matrix the old build
+    materialised.  The stream of drawn random numbers and every link's
+    float delay are byte-identical to the dense build: a link's delay is
+    always read from its *lower-id endpoint's* Dijkstra row (the row the
+    dense matrix indexed via ``delays[a, b]`` with ``a < b``), which is
+    why the sweep below visits nodes in descending id order — when node
+    ``u`` is processed, every mesh pair whose lower id is ``u`` already
+    exists (created by ``u``'s own picks or by higher-id nodes picking
+    ``u``) and is resolved from ``u``'s freshly computed row.
     """
     # explicit fixed seed when the caller doesn't care about the stream;
     # never the process-global RNG, so builds replay byte-identically
@@ -306,6 +343,10 @@ def build_overlay_network(
         )
     if neighbors_per_node < 1:
         raise ValueError("neighbors_per_node must be ≥ 1")
+    if dijkstra_batch_size < 1:
+        raise ValueError(
+            f"dijkstra_batch_size must be ≥ 1, got {dijkstra_batch_size}"
+        )
 
     routers = rng.sample(range(ip_network.num_routers), num_nodes)
     nodes = [
@@ -313,26 +354,64 @@ def build_overlay_network(
         for node_id, router_id in enumerate(routers)
     ]
 
-    delays = ip_network.delays_between(routers)
-    pairs = set()
-    k = min(neighbors_per_node, num_nodes - 1)
-    for node_id in range(num_nodes):
-        order = np.argsort(delays[node_id], kind="stable")
-        picked = 0
-        for neighbor in order:
-            neighbor = int(neighbor)
-            if neighbor == node_id:
-                continue
-            pairs.add((min(node_id, neighbor), max(node_id, neighbor)))
-            picked += 1
-            if picked >= k:
-                break
+    def rows_for(node_ids: Sequence[int]) -> np.ndarray:
+        """Delay rows (one per requested node) over the overlay columns,
+        solved per *unique* attachment router in dijkstra-batched calls."""
+        unique = sorted({routers[node_id] for node_id in node_ids})
+        row_of: Dict[int, np.ndarray] = {}
+        for start in range(0, len(unique), dijkstra_batch_size):
+            batch = unique[start : start + dijkstra_batch_size]
+            solved = ip_network.delays_from(batch)[:, routers]
+            for offset, router_id in enumerate(batch):
+                row_of[router_id] = solved[offset]
+        return np.stack([row_of[routers[node_id]] for node_id in node_ids])
 
-    _bridge_components(pairs, delays, num_nodes)
+    pairs: Set[Tuple[int, int]] = set()
+    # higher-id endpoint → lower-id endpoint's pairs awaiting their delay
+    by_min: Dict[int, List[int]] = {}
+    pair_delay: Dict[Tuple[int, int], float] = {}
+    k = min(neighbors_per_node, num_nodes - 1)
+
+    def add_pair(node_a: int, node_b: int) -> None:
+        pair = (min(node_a, node_b), max(node_a, node_b))
+        if pair not in pairs:
+            pairs.add(pair)
+            by_min.setdefault(pair[0], []).append(pair[1])
+
+    for chunk_end in range(num_nodes - 1, -1, -dijkstra_batch_size):
+        chunk = list(range(chunk_end, max(-1, chunk_end - dijkstra_batch_size), -1))
+        chunk_rows = ip_network.delays_from([routers[u] for u in chunk])[:, routers]
+        for row_index, node_id in enumerate(chunk):
+            row = chunk_rows[row_index]
+            order = np.argsort(row, kind="stable")
+            picked = 0
+            for neighbor in order:
+                neighbor = int(neighbor)
+                if neighbor == node_id:
+                    continue
+                add_pair(node_id, neighbor)
+                picked += 1
+                if picked >= k:
+                    break
+            # all pairs keyed by this node exist now (descending sweep):
+            # resolve their authoritative delays from this node's row
+            for other in by_min.pop(node_id, ()):
+                pair_delay[(node_id, other)] = float(row[other])
+
+    _bridge_components(pairs, num_nodes, rows_for)
+
+    # bridge links may key on a node whose row is gone; re-solve just those
+    missing = [pair for pair in sorted(pairs) if pair not in pair_delay]
+    if missing:
+        lower_ids = sorted({pair[0] for pair in missing})
+        lower_rows = rows_for(lower_ids)
+        row_index_of = {node_id: i for i, node_id in enumerate(lower_ids)}
+        for a, b in missing:
+            pair_delay[(a, b)] = float(lower_rows[row_index_of[a], b])
 
     links = []
     for link_id, (a, b) in enumerate(sorted(pairs)):
-        delay = float(delays[a, b])
+        delay = pair_delay[(a, b)]
         loss = min(0.5, delay * rng.uniform(*loss_per_ms))
         capacity = rng.uniform(*bandwidth_range_kbps)
         links.append(OverlayLink(link_id, a, b, delay, loss, capacity))

@@ -58,16 +58,25 @@ both choices are optimal.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, Optional, Tuple
+import sys
+from types import TracebackType
+from typing import Dict, Iterable, Optional, Tuple, Type
 
 import numpy as np
 from scipy.sparse import csr_matrix
 from scipy.sparse.csgraph import dijkstra
 
 from repro.model.component_graph import VirtualLinkPath
+from repro.model.lru import LRUDict
 from repro.model.qos import MetricKind, QoSVector, combine_all
 from repro.observability import NULL_RECORDER, Recorder
 from repro.topology.overlay import OverlayLink, OverlayNetwork
+
+#: Above this overlay size the eager ``incremental=False`` baseline refuses
+#: to run: its two dense N×N float64 matrices (distances + predecessors)
+#: cost 16·N² bytes — ~64 MB at 2k nodes, ~1.6 GB at 10k — for a mode that
+#: exists only as a small-scale measurement baseline.
+EAGER_ALLPAIRS_MAX_NODES = 2048
 
 
 class RoutingError(RuntimeError):
@@ -121,6 +130,22 @@ class _SourceTree:
         self.loss_row: Optional[np.ndarray] = None
         distances.setflags(write=False)
 
+    def nbytes(self) -> int:
+        """Resident bytes of this tree's arrays (lazy rows count once built)."""
+        total = (
+            self.distances.nbytes
+            + self.predecessors.nbytes
+            + self.finite.nbytes
+            + self.relay.nbytes
+        )
+        if self.order is not None:
+            total += self.order.nbytes
+        if self.uplink is not None:
+            total += self.uplink.nbytes
+        if self.loss_row is not None:
+            total += self.loss_row.nbytes
+        return int(total)
+
 
 class OverlayRouter:
     """Delay-based shortest-path routing over an overlay mesh."""
@@ -130,16 +155,28 @@ class OverlayRouter:
         network: OverlayNetwork,
         incremental: bool = True,
         recorder: Recorder = NULL_RECORDER,
+        tree_cache_size: Optional[int] = None,
+        eager_max_nodes: int = EAGER_ALLPAIRS_MAX_NODES,
     ) -> None:
         self.network = network
         self._incremental = incremental
         self.recorder = recorder
+        self._eager_max_nodes = eager_max_nodes
         self._down_nodes: frozenset = frozenset()
         self._down_links: frozenset = frozenset()
+        self._closed = False
         #: monotone topology epoch, bumped once per down-set change; per
         #: source, :meth:`row_version` is the finer-grained cache key
         self.epoch = 0
-        self._trees: Dict[int, _SourceTree] = {}
+        # per-source caches: trees are the LRU-bounded master; the path and
+        # QoS caches only ever hold sources present in ``_trees`` (the
+        # eviction callback drops their entries), so total router cache
+        # memory is O(tree_cache_size × N), never O(N²).  Evictions are
+        # decision-invisible: delays are continuous, so a re-solve of an
+        # evicted source reproduces the identical tree.
+        self._trees: LRUDict[int, _SourceTree] = LRUDict(
+            capacity=tree_cache_size, on_evict=self._on_tree_evicted
+        )
         self._path_cache: Dict[int, Dict[int, Tuple[int, ...]]] = {}
         self._qos_cache: Dict[int, Dict[int, QoSVector]] = {}
         schema = (
@@ -194,6 +231,100 @@ class OverlayRouter:
     def _on_link_bandwidth(self, link: OverlayLink) -> None:
         self._link_available[link.link_id] = link.available_kbps
 
+    @property
+    def tree_cache_capacity(self) -> Optional[int]:
+        """Configured bound on cached source trees (None = unbounded)."""
+        return self._trees.capacity
+
+    @property
+    def cached_tree_count(self) -> int:
+        """Source trees currently resident (≤ :attr:`tree_cache_capacity`)."""
+        return len(self._trees)
+
+    @property
+    def tree_evictions(self) -> int:
+        """Source trees evicted by the capacity bound since construction."""
+        return self._trees.evictions
+
+    def _on_tree_evicted(self, source: int, tree: _SourceTree) -> None:
+        """Capacity eviction of a source tree drops its sibling caches too,
+        keeping the ``path/qos ⊆ trees`` invariant that bounds memory."""
+        self._path_cache.pop(source, None)
+        self._qos_cache.pop(source, None)
+        if self.recorder.enabled:
+            self.recorder.inc("router.tree_evictions")
+
+    def close(self) -> None:
+        """Detach this router from the shared network and free its caches.
+
+        Routers register a bandwidth listener on every overlay link; a
+        router that is discarded without ``close()`` stays referenced by
+        the network and keeps its arrays alive (and updated) forever —
+        exactly what the differential tests' fresh-router-per-step pattern
+        used to leak.  Idempotent; the router must not be queried after.
+        """
+        if self._closed:
+            return
+        self._closed = True
+        for link in self.network.links:
+            link.remove_change_listener(self._on_link_bandwidth)
+        self._trees.clear()
+        self._path_cache.clear()
+        self._qos_cache.clear()
+        self._all_distances = None
+        self._all_predecessors = None
+
+    def __enter__(self) -> "OverlayRouter":
+        return self
+
+    def __exit__(
+        self,
+        exc_type: Optional[Type[BaseException]],
+        exc: Optional[BaseException],
+        tb: Optional[TracebackType],
+    ) -> None:
+        self.close()
+
+    def memory_footprint(self) -> Dict[str, int]:
+        """Approximate resident bytes per router substructure.
+
+        ``nbytes`` for the numpy state (exact) plus ``sys.getsizeof``
+        container overheads for the path/QoS caches (close).  BENCH_scale
+        uses this to attribute memory per subsystem; ``total`` sums the
+        parts.
+        """
+        trees = sum(tree.nbytes() for _, tree in self._trees.items())
+        link_arrays = int(
+            self._link_a.nbytes
+            + self._link_b.nbytes
+            + self._link_delay.nbytes
+            + self._link_available.nbytes
+        )
+        path_cache = sys.getsizeof(self._path_cache)
+        for per_source in self._path_cache.values():
+            path_cache += sys.getsizeof(per_source)
+            for path in per_source.values():
+                path_cache += sys.getsizeof(path)
+        qos_cache = sys.getsizeof(self._qos_cache)
+        for per_source_qos in self._qos_cache.values():
+            qos_cache += sys.getsizeof(per_source_qos)
+            for qos in per_source_qos.values():
+                qos_cache += sys.getsizeof(qos) + sys.getsizeof(qos.values)
+        all_pairs = 0
+        if self._all_distances is not None:
+            all_pairs += int(self._all_distances.nbytes)
+        if self._all_predecessors is not None:
+            all_pairs += int(self._all_predecessors.nbytes)
+        footprint = {
+            "trees": int(trees),
+            "path_cache": int(path_cache),
+            "qos_cache": int(qos_cache),
+            "link_arrays": link_arrays,
+            "all_pairs": all_pairs,
+        }
+        footprint["total"] = sum(footprint.values())
+        return footprint
+
     def _build_matrix(self) -> None:
         """CSR routing graph for the current down sets.
 
@@ -234,6 +365,17 @@ class OverlayRouter:
 
     def _solve_all(self) -> None:
         """Eager baseline: all-pairs solve + wholesale cache flush."""
+        n = len(self.network)
+        if n > self._eager_max_nodes:
+            raise RoutingError(
+                f"eager all-pairs routing (incremental=False) refuses "
+                f"{n} overlay nodes: it would allocate two dense "
+                f"{n}×{n} float64 matrices "
+                f"(~{2 * 16 * n * n // 2 ** 20} MB). Use incremental "
+                f"routing (the default) with a bounded tree cache, or "
+                f"raise eager_max_nodes explicitly "
+                f"(current limit {self._eager_max_nodes})."
+            )
         self._all_distances, self._all_predecessors = dijkstra(
             self._matrix, directed=False, return_predecessors=True
         )
@@ -254,10 +396,14 @@ class OverlayRouter:
                     return_predecessors=True,
                 )
             else:
+                assert self._all_distances is not None
+                assert self._all_predecessors is not None
                 distances = self._all_distances[source]
                 predecessors = self._all_predecessors[source]
             tree = _SourceTree(source, self.epoch, distances, predecessors)
             self._trees[source] = tree
+        elif self.recorder.enabled:
+            self.recorder.inc("router.tree_hit")
         return tree
 
     def _annotated(self, source: int) -> _SourceTree:
@@ -374,8 +520,12 @@ class OverlayRouter:
 
         dropped = 0
         patched = 0
-        for source in list(self._trees):
-            tree = self._trees[source]
+        # peek: an invalidation scan must not rewrite recency order
+        # repro-lint: disable=DET103 -- LRUDict.keys() is a list snapshot in deterministic recency order, not hash order
+        for source in self._trees.keys():
+            tree = self._trees.peek(source)
+            if tree is None:  # pragma: no cover - snapshot, no concurrent evict
+                continue
             if (
                 source in changed_roots
                 or (crashed is not None and bool(tree.relay[crashed].any()))
@@ -384,7 +534,7 @@ class OverlayRouter:
                     and bool(tree.finite[recovered_probe].any())
                 )
             ):
-                del self._trees[source]
+                self._trees.pop(source)
                 self._path_cache.pop(source, None)
                 self._qos_cache.pop(source, None)
                 dropped += 1
@@ -472,8 +622,11 @@ class OverlayRouter:
             recovered_ends = np.concatenate((self._link_a[up], self._link_b[up]))
 
         dropped = 0
-        for source in list(self._trees):
-            tree = self._trees[source]
+        # repro-lint: disable=DET103 -- LRUDict.keys() is a list snapshot in deterministic recency order, not hash order
+        for source in self._trees.keys():
+            tree = self._trees.peek(source)
+            if tree is None:  # pragma: no cover - snapshot, no concurrent evict
+                continue
             affected = False
             if failed is not None:
                 ends_a = self._link_a[failed]
@@ -489,7 +642,7 @@ class OverlayRouter:
             if not affected and recovered_ends is not None:
                 affected = bool(tree.finite[recovered_ends].any())
             if affected:
-                del self._trees[source]
+                self._trees.pop(source)
                 self._path_cache.pop(source, None)
                 self._qos_cache.pop(source, None)
                 dropped += 1

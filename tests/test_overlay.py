@@ -155,3 +155,42 @@ class TestBuildOverlayNetwork:
         b = build_overlay_network(ip, 15, rng=random.Random(9))
         assert [l.endpoints for l in a.links] == [l.endpoints for l in b.links]
         assert [n.capacity for n in a.nodes] == [n.capacity for n in b.nodes]
+
+    @pytest.mark.parametrize("batch_size", [1, 7, 512])
+    def test_dijkstra_batch_size_is_build_invariant(self, ip, batch_size):
+        """The chunked, deduped build must produce a byte-identical
+        network for ANY batch size — batching is a cost knob, never a
+        semantic one.  Compares endpoints, delay, loss, capacity per link
+        and router/capacity per node against the default build."""
+        reference = build_overlay_network(ip, 30, rng=random.Random(6))
+        network = build_overlay_network(
+            ip, 30, rng=random.Random(6), dijkstra_batch_size=batch_size
+        )
+        assert [
+            (l.endpoints, l.delay_ms, l.loss_rate, l.capacity_kbps)
+            for l in network.links
+        ] == [
+            (l.endpoints, l.delay_ms, l.loss_rate, l.capacity_kbps)
+            for l in reference.links
+        ]
+        assert [(n.router_id, n.capacity) for n in network.nodes] == [
+            (n.router_id, n.capacity) for n in reference.nodes
+        ]
+
+    def test_link_delays_match_pairwise_solver(self, ip):
+        """Every link's delay equals the independently-computed pairwise
+        router distance — the deduped/batched path reads the same floats
+        the naive per-pair solver would."""
+        network = build_overlay_network(ip, 20, rng=random.Random(8))
+        for link in network.links:
+            expected = ip.delay(
+                network.node(link.node_a).router_id,
+                network.node(link.node_b).router_id,
+            )
+            assert link.delay_ms == expected
+
+    def test_batch_size_validated(self, ip):
+        with pytest.raises(ValueError, match="dijkstra_batch_size"):
+            build_overlay_network(
+                ip, 10, rng=random.Random(1), dijkstra_batch_size=0
+            )
