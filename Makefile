@@ -53,17 +53,22 @@ bench-macro:
 	@echo "timings: benchmarks/results/BENCH_macro.json"
 
 # Scale curve: compose p50/p99, overlay build time, and per-subsystem
-# memory at N in {600, 2k, 5k, 10k} overlay nodes under the bounded
-# configuration (LRU router caches, deduped batched topology build).
-# Results land in benchmarks/results/BENCH_scale.json; EXPERIMENTS.md's
-# Scalability section quotes them.  Budget ~10 minutes on one core.
+# memory at N in {600, 2k, 5k, 10k, 50k} overlay nodes under the bounded
+# configuration (LRU router caches, deduped batched topology build,
+# locality-pruned candidate scoring at candidate_prune_k=auto), plus a
+# prune-k ablation at N=5k.  Results land in
+# benchmarks/results/BENCH_scale.json; EXPERIMENTS.md's Scalability
+# section quotes them.  Budget ~1 hour on one core (the 50k point
+# dominates); override the prune setting with BENCH_SCALE_PRUNE.
 bench-scale:
 	$(PYTEST) -q -s benchmarks/test_scale.py
 	@echo "curve: benchmarks/results/BENCH_scale.json"
 
 # Same harness at whatever N the caller sets via BENCH_SCALE_NODES
 # (comma-separated); writes BENCH_scale_smoke.json so a smoke run can
-# never clobber the committed full curve.  CI runs this at a small N.
+# never clobber the committed full curve.  CI runs this at a small N
+# with candidate_prune_k=auto so the pruned gather and widen counters
+# are exercised on every push.
 bench-scale-smoke:
 	BENCH_SCALE_NODES=$${BENCH_SCALE_NODES:-300} $(PYTEST) -q -s benchmarks/test_scale.py
 	@echo "smoke point: benchmarks/results/BENCH_scale_smoke.json"

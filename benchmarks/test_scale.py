@@ -14,15 +14,23 @@ into ``benchmarks/results/BENCH_scale.json`` (``make bench-scale``).
 EXPERIMENTS.md's Scalability section and DEVELOPMENT.md's complexity
 budget quote these numbers.
 
-The run also asserts the two guarantees that make 10k reachable at all:
-the router's cached tree count never exceeds its configured bound, and
-the eager all-pairs baseline *refuses* to run above its size threshold
-instead of silently allocating two dense N×N matrices.
+The run also asserts the guarantees that make the frontier reachable at
+all: the router's cached tree count and the neighbourhood index's entry
+count never exceed their configured bounds, and the eager all-pairs
+baseline *refuses* to run above its size threshold instead of silently
+allocating two dense N×N matrices.
+
+Since the locality-pruned scorer landed the default curve runs with
+``candidate_prune_k="auto"`` and extends to 50k nodes; a prune-k
+ablation at N=5000 (full scan / auto / aggressive k=64) records how
+compose p50, success rate, and widen-retry rate trade off, into the
+same JSON under ``"ablation"``.
 
 ``BENCH_SCALE_NODES`` (comma-separated) overrides the curve for smoke
 runs — CI uses a small N and the output lands in
 ``BENCH_scale_smoke.json`` so a smoke run can never clobber the real
-curve.
+curve.  ``BENCH_SCALE_PRUNE`` (``off``, ``auto``, or an integer)
+overrides the prune setting for the whole curve.
 """
 
 from __future__ import annotations
@@ -47,12 +55,18 @@ from repro.topology.routing import (
     RoutingError,
 )
 
-DEFAULT_NODES = (600, 2_000, 5_000, 10_000)
+DEFAULT_NODES = (600, 2_000, 5_000, 10_000, 50_000)
 COMPOSES_PER_POINT = 40
 #: at-scale cache bounds: router memory stays O(256 × N) while the
 #: paper-scale default (1024 > 600) never evicts and replays identically
 SCALE_ROUTER_CACHE = 256
 SCALE_ROW_CACHE = 256
+#: the neighbourhood index obeys the same O(cache × k) contract
+SCALE_NEIGHBORHOOD_CACHE = 256
+#: the prune-k sweep: full scan, the auto heuristic, and an aggressive
+#: fixed k that forces the widen-and-re-probe fallback to earn its keep
+ABLATION_NODES = 5_000
+ABLATION_SPECS = (("off", None), ("auto", "auto"), ("aggressive", 64))
 
 REQUIRED_POINT_KEYS = {
     "num_nodes",
@@ -62,6 +76,10 @@ REQUIRED_POINT_KEYS = {
     "compose_p99_ms",
     "composes",
     "successes",
+    "prune_k",
+    "widen_retries",
+    "neighborhood_solves",
+    "neighborhood_memory_bytes",
     "router_memory_bytes",
     "scorer_memory_bytes",
     "global_state_memory_bytes",
@@ -77,6 +95,16 @@ def scale_points():
     if env:
         return tuple(int(field) for field in env.split(",")), True
     return DEFAULT_NODES, False
+
+
+def prune_spec():
+    """The curve-wide prune setting, overridable via BENCH_SCALE_PRUNE."""
+    env = os.environ.get("BENCH_SCALE_PRUNE", "auto")
+    if env in ("off", "none", ""):
+        return None
+    if env == "auto":
+        return "auto"
+    return int(env)
 
 
 def percentile(sorted_values, fraction):
@@ -103,7 +131,7 @@ def request_for(system, request_id):
     )
 
 
-def measure_point(num_nodes: int) -> dict:
+def measure_point(num_nodes: int, prune=None) -> dict:
     num_routers = max(800, math.ceil(num_nodes * 1.2))
     config = SystemConfig(
         num_routers=num_routers,
@@ -111,6 +139,8 @@ def measure_point(num_nodes: int) -> dict:
         seed=num_nodes,  # distinct but reproducible meshes along the curve
         router_cache_size=SCALE_ROUTER_CACHE,
         scorer_row_cache_size=SCALE_ROW_CACHE,
+        candidate_prune_k=prune,
+        neighborhood_cache_size=SCALE_NEIGHBORHOOD_CACHE,
     )
     build_start = time.perf_counter()
     system = build_system(config)
@@ -128,8 +158,11 @@ def measure_point(num_nodes: int) -> dict:
         context.allocator.cancel_transient(request.request_id)
         successes += bool(outcome.success)
 
-    # the memory bound actually held while composing
+    # the memory bounds actually held while composing
     assert system.router.cached_tree_count <= SCALE_ROUTER_CACHE
+    index = context._neighborhood_index
+    if index is not None:
+        assert index.cached_entry_count <= SCALE_NEIGHBORHOOD_CACHE
 
     latencies_ms.sort()
     point = {
@@ -140,6 +173,12 @@ def measure_point(num_nodes: int) -> dict:
         "compose_p99_ms": round(percentile(latencies_ms, 0.99), 3),
         "composes": COMPOSES_PER_POINT,
         "successes": successes,
+        "prune_k": context.candidate_prune_k,
+        "widen_retries": context.fast_scorer().widen_retries,
+        "neighborhood_solves": 0 if index is None else index.solves,
+        "neighborhood_memory_bytes": (
+            0 if index is None else index.memory_footprint()["total"]
+        ),
         "router_memory_bytes": system.router.memory_footprint()["total"],
         "scorer_memory_bytes": context.fast_scorer().memory_footprint()["total"],
         "global_state_memory_bytes": system.global_state.memory_footprint()[
@@ -157,6 +196,8 @@ def measure_point(num_nodes: int) -> dict:
             OverlayRouter(system.network, incremental=False)
 
     # free the point's listeners/caches before the next, larger one
+    if index is not None:
+        index.close()
     system.router.close()
     system.global_state.close()
     return point
@@ -164,16 +205,27 @@ def measure_point(num_nodes: int) -> dict:
 
 def test_scale_curve(results_dir):
     nodes, smoke = scale_points()
+    prune = prune_spec()
     points = []
     for num_nodes in nodes:
-        point = measure_point(num_nodes)
+        point = measure_point(num_nodes, prune=prune)
         assert REQUIRED_POINT_KEYS <= set(point)
-        assert point["successes"] > 0, f"no composition succeeded at N={num_nodes}"
+        if smoke:
+            assert point["successes"] > 0, (
+                f"no composition succeeded at N={num_nodes}"
+            )
+        else:
+            assert point["successes"] == point["composes"], (
+                f"composition failed at N={num_nodes}: "
+                f"{point['successes']}/{point['composes']}"
+            )
         points.append(point)
         print(
-            f"\nN={num_nodes}: build {point['build_seconds']}s, "
+            f"\nN={num_nodes} (prune_k={point['prune_k']}): "
+            f"build {point['build_seconds']}s, "
             f"compose p50 {point['compose_p50_ms']}ms "
             f"p99 {point['compose_p99_ms']}ms, "
+            f"widen {point['widen_retries']}, "
             f"router {point['router_memory_bytes'] / 1e6:.1f}MB, "
             f"rss {point['peak_rss_kb'] / 1024:.0f}MB"
         )
@@ -181,13 +233,37 @@ def test_scale_curve(results_dir):
     payload = {
         "router_cache_size": SCALE_ROUTER_CACHE,
         "scorer_row_cache_size": SCALE_ROW_CACHE,
+        "neighborhood_cache_size": SCALE_NEIGHBORHOOD_CACHE,
+        "candidate_prune_k": "off" if prune is None else prune,
         "composes_per_point": COMPOSES_PER_POINT,
         "eager_allpairs_max_nodes": EAGER_ALLPAIRS_MAX_NODES,
         "points": points,
     }
+
+    # prune-k ablation: what the locality pruning buys and what the
+    # widen fallback costs, at a fixed mid-curve N
+    if not smoke:
+        ablation = []
+        for label, spec in ABLATION_SPECS:
+            entry = measure_point(ABLATION_NODES, prune=spec)
+            entry["label"] = label
+            entry["success_rate"] = entry["successes"] / entry["composes"]
+            entry["widen_retry_rate"] = round(
+                entry["widen_retries"] / entry["composes"], 3
+            )
+            ablation.append(entry)
+            print(
+                f"\nablation {label} (prune_k={entry['prune_k']}): "
+                f"p50 {entry['compose_p50_ms']}ms, "
+                f"success {entry['success_rate']:.2f}, "
+                f"widen/compose {entry['widen_retry_rate']}"
+            )
+        payload["ablation"] = ablation
+
     name = "BENCH_scale_smoke.json" if smoke else "BENCH_scale.json"
     (results_dir / name).write_text(json.dumps(payload, indent=2) + "\n")
 
-    # the curve actually crossed the old wall unless smoke-overridden
+    # the curve actually reached the pruned-scoring frontier unless
+    # smoke-overridden
     if not smoke:
-        assert max(p["num_nodes"] for p in points) >= 10_000
+        assert max(p["num_nodes"] for p in points) >= 50_000

@@ -33,7 +33,7 @@ from repro.core.control import ControlChannel, PerfectControlChannel
 from repro.discovery.registry import ComponentRegistry
 from repro.model.component import Component
 from repro.observability import NULL_RECORDER, Recorder
-from repro.model.component_graph import ComponentGraph
+from repro.model.component_graph import ComponentGraph, VirtualLinkPath
 from repro.model.qos import QoSVector
 from repro.model.qos_model import LoadDependentQoSModel
 from repro.model.request import StreamRequest
@@ -45,6 +45,7 @@ from repro.topology.routing import OverlayRouter
 
 if TYPE_CHECKING:  # runtime import would cycle: fastscore builds on composer
     from repro.core.fastscore import FastScorer
+    from repro.topology.neighborhood import NeighborhoodIndex
 
 
 @dataclass
@@ -79,8 +80,21 @@ class CompositionContext:
     #: bound on the scorer's per-source stale-bandwidth-row cache (None =
     #: unbounded); keeps scorer memory O(bound × N) at large N
     scorer_row_cache_size: Optional[int] = None
+    #: resolved neighbourhood size for locality-pruned candidate scoring
+    #: (None = full scan; build_system resolves SystemConfig's "auto"
+    #: before wiring — see repro.topology.neighborhood.resolve_prune_k)
+    candidate_prune_k: Optional[int] = None
+    #: bound on the neighbourhood index's per-(source, k) entry cache;
+    #: entries are O(k), so resident memory stays O(cache × k)
+    neighborhood_cache_size: Optional[int] = 1024
     #: lazily constructed vectorised scoring engine (see fast_scorer())
     _fast_scorer: Optional["FastScorer"] = field(
+        default=None, init=False, repr=False, compare=False
+    )
+    #: lazily constructed router-neighbourhood index (see
+    #: neighborhood_index()); never built while pruning is off, so the
+    #: default configuration carries zero extra state
+    _neighborhood_index: Optional["NeighborhoodIndex"] = field(
         default=None, init=False, repr=False, compare=False
     )
 
@@ -96,6 +110,49 @@ class CompositionContext:
 
             self._fast_scorer = FastScorer(self)
         return self._fast_scorer
+
+    def neighborhood_index(self) -> "NeighborhoodIndex":
+        """The shared router-neighbourhood index for this context, created
+        on first use.  Only meaningful when ``candidate_prune_k`` is set;
+        callers on the default (full-scan) configuration never construct
+        it."""
+        if self._neighborhood_index is None:
+            from repro.topology.neighborhood import NeighborhoodIndex
+
+            assert self.candidate_prune_k is not None
+            self._neighborhood_index = NeighborhoodIndex(
+                self.router,
+                k=self.candidate_prune_k,
+                capacity=self.neighborhood_cache_size,
+                recorder=self.recorder,
+            )
+        return self._neighborhood_index
+
+    def live_available_bandwidth(self, node_a: int, node_b: int) -> float:
+        """Live bottleneck bandwidth of the virtual link a → b.
+
+        With pruning active, answered from the bounded neighbourhood tree
+        when ``node_b`` is a member (an O(k) walk instead of an O(N) row
+        annotation); falls back to the full router otherwise — e.g. for a
+        candidate admitted by a widened pool — so the figure is always the
+        router's figure, byte-for-byte.
+        """
+        if self.candidate_prune_k is not None and node_a != node_b:
+            bandwidth = self.neighborhood_index().live_bandwidth(node_a, node_b)
+            if bandwidth is not None:
+                return bandwidth
+        return self.router.available_bandwidth(node_a, node_b)
+
+    def virtual_link(self, node_a: int, node_b: int) -> VirtualLinkPath:
+        """The virtual link a → b, preferring the bounded neighbourhood
+        tree over the full router's O(N) row annotation (identical links
+        and QoS floats for members; router fallback for everything else,
+        including the co-located a == b case)."""
+        if self.candidate_prune_k is not None and node_a != node_b:
+            link = self.neighborhood_index().virtual_link(node_a, node_b)
+            if link is not None:
+                return link
+        return self.router.virtual_link(node_a, node_b)
 
     def precise_component_qos(self, component: Component) -> QoSVector:
         """Effective QoS from the *live* host state (what a probe observes
@@ -151,9 +208,9 @@ class CompositionEvaluator:
         self, request: StreamRequest, assignment: Mapping[int, Component]
     ) -> ComponentGraph:
         """Resolve virtual links for an assignment and build the graph."""
-        router = self.context.router
+        context = self.context
         links = {
-            (a, b): router.virtual_link(
+            (a, b): context.virtual_link(
                 assignment[a].node_id, assignment[b].node_id
             )
             for a, b in request.function_graph.edges

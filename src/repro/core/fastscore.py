@@ -337,6 +337,10 @@ class FastScorer:
         self._alive: Optional[np.ndarray] = None
         #: shared all-True mask reused whenever no node is down; never mutated
         self._all_alive: Optional[np.ndarray] = None
+        #: pruned levels that yielded zero qualified expansions and were
+        #: deterministically re-scored with a wider neighbourhood (plain
+        #: counter so benchmarks need no recorder)
+        self.widen_retries = 0
 
     def _on_bandwidth_row_evicted(
         self, source: int, entry: Tuple[int, int, np.ndarray]
@@ -457,16 +461,128 @@ class FastScorer:
         changes no float operation or ordering, and row-major
         ``np.nonzero`` at the end reproduces the scalar reference's pool
         order (probe-major, candidate registration order within a probe).
+
+        With ``candidate_prune_k`` set, levels with predecessors score
+        only the candidates whose host node lies in some upstream node's
+        delay neighbourhood (the wavefront's locality); a level whose
+        pruned pool qualifies nothing is deterministically re-scored with
+        a 4x wider neighbourhood until it either qualifies someone or the
+        neighbourhood covers the whole overlay — at which point an empty
+        pool is a genuine failure, identical to the full scan's.
         """
+        context = self.context
+        prune_k = context.candidate_prune_k
+        if prune_k is None or not predecessors:
+            # source levels have no upstream locality to prune around and
+            # do no per-source routing row work anyway
+            return self._score_level_impl(
+                request,
+                probes,
+                function_id,
+                candidates,
+                function_index,
+                predecessors,
+                requirement,
+                input_rate,
+                use_global_state,
+                None,
+            )
+        recorder = context.recorder
+        num_nodes = len(context.network)
+        k = min(prune_k, num_nodes)
+        while True:
+            pool = self._score_level_impl(
+                request,
+                probes,
+                function_id,
+                candidates,
+                function_index,
+                predecessors,
+                requirement,
+                input_rate,
+                use_global_state,
+                k,
+            )
+            if pool.size or k >= num_nodes:
+                if recorder.enabled:
+                    recorder.observe("fastscore.pruned_pool_size", float(pool.size))
+                return pool
+            self.widen_retries += 1
+            if recorder.enabled:
+                recorder.inc("fastscore.widen_retries")
+            k = min(num_nodes, k * 4)
+
+    def _score_level_impl(
+        self,
+        request: StreamRequest,
+        probes: Sequence[object],
+        function_id: int,
+        candidates: Sequence[Component],
+        function_index: int,
+        predecessors: Tuple[int, ...],
+        requirement: ResourceVector,
+        input_rate: float,
+        use_global_state: bool,
+        prune_k: Optional[int],
+    ) -> LevelPool:
         context = self.context
         table = self._table_for(function_id, candidates)
         node_index = table.node_ids
+
+        # -- locality pruning: restrict the pool to the union of the
+        # upstream nodes' delay neighbourhoods.  ``sub`` is ascending, so
+        # the pruned pool order is a subsequence of the full pool order —
+        # and whenever k >= N the neighbourhoods hold every *reachable*
+        # node, the excluded candidates are exactly the ones the full scan
+        # masks on ``isfinite(link_delay)``, and the two paths make
+        # byte-identical decisions.
+        sub: Optional[np.ndarray] = None
+        entries = None
+        index = None
+        if prune_k is not None:
+            index = context.neighborhood_index()
+            upstream_nodes = sorted(
+                {
+                    probe.assignment[predecessor].node_id
+                    for predecessor in predecessors
+                    for probe in probes
+                }
+            )
+            entries = {
+                node: index.entry(node, prune_k) for node in upstream_nodes
+            }
+            union = np.unique(
+                np.concatenate(
+                    [entries[node].members_sorted for node in upstream_nodes]
+                )
+            )
+            sub = np.nonzero(np.isin(node_index, union))[0]
+            if len(sub) == 0:
+                empty_int = np.empty(0, dtype=np.int64)
+                empty = np.empty(0)
+                return LevelPool(
+                    self,
+                    table,
+                    probes,
+                    predecessors,
+                    empty_int,
+                    empty_int,
+                    empty,
+                    empty,
+                    empty,
+                    empty,
+                    None,
+                    None,
+                )
+            node_index = node_index[sub]
 
         # -- probe-independent filters (stream rate, tags, liveness) ----------
         level_mask = input_rate <= table.max_input_rate
         attribute_mask = table.required_attribute_mask(request.required_attributes)
         if attribute_mask is not None:
             level_mask = level_mask & attribute_mask
+        if sub is not None:
+            level_mask = level_mask[sub]
         level_mask = level_mask & self._alive[node_index]
 
         if use_global_state:
@@ -478,6 +594,11 @@ class FastScorer:
             candidate_delay = table.base_delay
             candidate_loss = table.base_loss
             available = None
+        if sub is not None:
+            candidate_delay = candidate_delay[sub]
+            candidate_loss = candidate_loss[sub]
+            if available is not None:
+                available = available[sub]
 
         qos_requirement = request.qos_requirement
         required_delay, required_loss = qos_requirement.values
@@ -489,7 +610,10 @@ class FastScorer:
         ]
 
         probe_count = len(probes)
-        pool_size = len(table.components)
+        pool_size = len(node_index)
+        component_ids = (
+            table.component_ids if sub is None else table.component_ids[sub]
+        )
 
         # a component instance runs at most one placement per session, so
         # each probe's row starts from the level mask and drops its own
@@ -498,7 +622,7 @@ class FastScorer:
         for position, probe in enumerate(probes):
             row = mask[position]
             for assigned in probe.assignment.values():
-                row &= table.component_ids != assigned.component_id
+                row &= component_ids != assigned.component_id
 
         # -- QoS accumulation through the candidate (worst path) --------------
         # Per predecessor, gather each probe's upstream link row and output
@@ -509,6 +633,9 @@ class FastScorer:
         # the row can qualify.
         accumulated_delay = None
         accumulated_loss = None
+        # member positions of the (pruned) pool's nodes per upstream node,
+        # shared between the QoS gather and the bandwidth gather below
+        positions_of: Dict[int, np.ndarray] = {}
         for predecessor in predecessors:
             format_rows = np.empty((probe_count, pool_size), dtype=bool)
             link_delay = np.empty((probe_count, pool_size))
@@ -525,12 +652,32 @@ class FastScorer:
                     out_delay[position, 0] = 0.0
                     out_loss[position, 0] = 0.0
                     continue
-                format_rows[position] = format_mask
-                delay_row, loss_row = context.router.virtual_link_rows(
-                    upstream.node_id
+                format_rows[position] = (
+                    format_mask if sub is None else format_mask[sub]
                 )
-                link_delay[position] = delay_row[node_index]
-                link_loss[position] = loss_row[node_index]
+                if sub is None:
+                    delay_row, loss_row = context.router.virtual_link_rows(
+                        upstream.node_id
+                    )
+                    link_delay[position] = delay_row[node_index]
+                    link_loss[position] = loss_row[node_index]
+                else:
+                    # gather from the bounded tree: members carry the full
+                    # router's floats, non-members read as unreachable and
+                    # fall to the isfinite mask below
+                    entry = entries[upstream.node_id]
+                    pos = positions_of.get(upstream.node_id)
+                    if pos is None:
+                        pos = entry.positions(node_index)
+                        positions_of[upstream.node_id] = pos
+                    inside = pos >= 0
+                    safe = np.maximum(pos, 0)
+                    link_delay[position] = np.where(
+                        inside, entry.delay[safe], np.inf
+                    )
+                    link_loss[position] = np.where(
+                        inside, entry.loss[safe], 0.0
+                    )
                 out_delay[position, 0], out_loss[position, 0] = (
                     probe.accumulated_out[predecessor].values
                 )
@@ -573,13 +720,32 @@ class FastScorer:
             for dimension, required_amount in enumerate(requirement_values):
                 qualified &= available[:, dimension] >= required_amount - 1e-9
             bandwidth_rows: List[Tuple[float, np.ndarray]] = []
+            link_version = context.global_state.link_version
+            link_available = context.global_state.link_available_array
             for predecessor, bandwidth_required in zip(
                 predecessors, bandwidth_requirements
             ):
                 rows = np.empty((probe_count, pool_size))
                 for position, probe in enumerate(probes):
-                    rows[position] = self._bandwidth_row(
-                        table, probe.assignment[predecessor].node_id
+                    upstream_node = probe.assignment[predecessor].node_id
+                    if sub is None:
+                        rows[position] = self._bandwidth_row(
+                            table, upstream_node
+                        )
+                        continue
+                    # O(k) bounded-tree fold over the same stale link
+                    # values the full row folds; non-members read -inf,
+                    # already excluded from ``qualified`` via the mask
+                    entry = entries[upstream_node]
+                    bw_row = index.stale_bottleneck_row(
+                        entry, link_available, link_version
+                    )
+                    pos = positions_of.get(upstream_node)
+                    if pos is None:
+                        pos = entry.positions(node_index)
+                        positions_of[upstream_node] = pos
+                    rows[position] = np.where(
+                        pos >= 0, bw_row[np.maximum(pos, 0)], -np.inf
                     )
                 bandwidth_rows.append((bandwidth_required, rows))
                 qualified &= rows >= bandwidth_required - 1e-9
@@ -606,6 +772,10 @@ class FastScorer:
             pre_loss = pre_loss2d[probe_index, candidate_index]
         else:
             pre_delay = pre_loss = None
+        if sub is not None:
+            # back to full-pool candidate indices; ``sub`` is ascending,
+            # so probe-major pool order is preserved
+            candidate_index = sub[candidate_index]
 
         return LevelPool(
             self,

@@ -485,7 +485,10 @@ class ProbingComposer(Composer):
             feasible = True
             for predecessor in predecessors:
                 upstream = parent.assignment[predecessor]
-                live_bw = context.router.available_bandwidth(
+                # the bounded neighbourhood tree answers member pairs in
+                # O(k); the router figure is the fallback (and the value
+                # is the router's either way, byte-for-byte)
+                live_bw = context.live_available_bandwidth(
                     upstream.node_id, candidate.node_id
                 )
                 observed_bw[(predecessor, function_index)] = live_bw

@@ -13,7 +13,7 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass, field, replace
-from typing import Callable, Optional, Tuple
+from typing import Callable, Optional, Tuple, Union
 
 from repro.allocation.allocator import ResourceAllocator
 from repro.core.composer import CompositionContext
@@ -29,6 +29,7 @@ from repro.state.local_state import LocalStateProvider
 from repro.topology.deputy import DeputySelector
 from repro.topology.ip_network import IPNetwork
 from repro.topology.overlay import OverlayNetwork, build_overlay_network
+from repro.topology.neighborhood import resolve_prune_k
 from repro.topology.powerlaw import PowerLawTopologyGenerator
 from repro.topology.routing import OverlayRouter
 
@@ -72,6 +73,17 @@ class SystemConfig:
     #: (``repro.core.fastscore``); same O(bound × N) rationale.  None means
     #: unbounded.
     scorer_row_cache_size: Optional[int] = 512
+    #: locality-pruned candidate scoring: None (default) scores the full
+    #: candidate pool at every level — committed figures replay
+    #: byte-identically; "auto" derives a neighbourhood size from N
+    #: (``repro.topology.neighborhood.resolve_prune_k``); an explicit int
+    #: pins it.  A pruned level that yields no qualified expansion
+    #: deterministically widens the neighbourhood and re-scores, so
+    #: success is preserved, not traded away.
+    candidate_prune_k: Union[int, str, None] = None
+    #: bound on the neighbourhood index's (source, k) entry cache; each
+    #: entry is O(k), so index memory is O(bound × k)
+    neighborhood_cache_size: Optional[int] = 1024
     #: scoring backend for the vectorised probing hot path: "numpy" (the
     #: always-available reference), "numba" (compiled kernels, requires the
     #: optional numba extra, errors if missing), or "auto" (numba when
@@ -143,6 +155,10 @@ class StreamSystem:
             recorder=recorder or self.recorder,
             scoring_kernel=resolve_scoring_kernel(self.config.scoring_kernel),
             scorer_row_cache_size=self.config.scorer_row_cache_size,
+            candidate_prune_k=resolve_prune_k(
+                self.config.candidate_prune_k, len(self.network)
+            ),
+            neighborhood_cache_size=self.config.neighborhood_cache_size,
         )
 
     def mean_candidates_per_function(self) -> float:
@@ -160,9 +176,10 @@ def build_system(config: SystemConfig) -> StreamSystem:
     independent stream and changing one knob does not scramble the others.
     """
     recorder = config.recorder if config.recorder is not None else NULL_RECORDER
-    # resolve early so an unavailable/unknown backend fails at build time,
-    # not on the first compose
+    # resolve early so an unavailable/unknown backend or a malformed prune
+    # spec fails at build time, not on the first compose
     resolve_scoring_kernel(config.scoring_kernel)
+    resolve_prune_k(config.candidate_prune_k, config.num_nodes)
     catalog = FunctionCatalog(size=config.catalog_size, num_formats=config.num_formats)
     templates = TemplateLibrary(
         catalog,

@@ -298,6 +298,26 @@ def _bridge_components(
         base = base + group
 
 
+def k_smallest_stable(row: np.ndarray, count: int) -> np.ndarray:
+    """The first ``count`` indices of ``np.argsort(row, kind="stable")``,
+    via partial sort.
+
+    ``argpartition`` finds the ``count`` smallest in O(n); the candidates
+    at or below their maximum are then stable-sorted.  ``np.nonzero``
+    yields candidate indices in ascending order, so equal values tie-break
+    by ascending index — exactly the full stable argsort's order — and the
+    returned prefix is element-identical to the full sort's.
+    """
+    n = len(row)
+    if count >= n:
+        return np.argsort(row, kind="stable")
+    part = np.argpartition(row, count - 1)[:count]
+    threshold = row[part].max()
+    candidate_idx = np.nonzero(row <= threshold)[0]
+    order = candidate_idx[np.argsort(row[candidate_idx], kind="stable")]
+    return order[:count]
+
+
 def build_overlay_network(
     ip_network: IPNetwork,
     num_nodes: int,
@@ -383,7 +403,10 @@ def build_overlay_network(
         chunk_rows = ip_network.delays_from([routers[u] for u in chunk])[:, routers]
         for row_index, node_id in enumerate(chunk):
             row = chunk_rows[row_index]
-            order = np.argsort(row, kind="stable")
+            # the pick loop consumes at most k+1 entries (k picks plus the
+            # skipped self), so a stable partial sort replaces the full
+            # O(N log N) argsort with identical picks
+            order = k_smallest_stable(row, k + 1)
             picked = 0
             for neighbor in order:
                 neighbor = int(neighbor)

@@ -60,7 +60,7 @@ from __future__ import annotations
 
 import sys
 from types import TracebackType
-from typing import Dict, Iterable, Optional, Tuple, Type
+from typing import Callable, Dict, Iterable, List, Optional, Tuple, Type
 
 import numpy as np
 from scipy.sparse import csr_matrix
@@ -77,6 +77,15 @@ from repro.topology.overlay import OverlayLink, OverlayNetwork
 #: cost 16·N² bytes — ~64 MB at 2k nodes, ~1.6 GB at 10k — for a mode that
 #: exists only as a small-scale measurement baseline.
 EAGER_ALLPAIRS_MAX_NODES = 2048
+
+#: Signature of router churn listeners:
+#: ``listener(newly_down_nodes, newly_up_nodes, newly_down_links,
+#: newly_up_links)`` — invoked once per effective :meth:`set_down_nodes`
+#: / :meth:`set_down_links` change (node events carry empty link sets and
+#: vice versa), *after* the router has updated its own state.  Derived
+#: per-source caches (``repro.topology.neighborhood``) hang their own
+#: dirty-set invalidation off this seam instead of polling epochs.
+ChurnListener = Callable[[frozenset, frozenset, frozenset, frozenset], None]
 
 
 class RoutingError(RuntimeError):
@@ -219,6 +228,7 @@ class OverlayRouter:
         )
         for link in links:
             link.add_change_listener(self._on_link_bandwidth)
+        self._churn_listeners: List[ChurnListener] = []
 
         self._all_distances: Optional[np.ndarray] = None
         self._all_predecessors: Optional[np.ndarray] = None
@@ -230,6 +240,40 @@ class OverlayRouter:
 
     def _on_link_bandwidth(self, link: OverlayLink) -> None:
         self._link_available[link.link_id] = link.available_kbps
+
+    @property
+    def link_available(self) -> np.ndarray:
+        """Live per-link residual bandwidth, indexed by link id.
+
+        Maintained O(1) per allocation via link listeners.  Treat as
+        read-only — it is the array the router's own bottleneck queries
+        fold over, shared so neighbourhood-pruned paths min-fold the
+        identical floats.
+        """
+        return self._link_available
+
+    def add_churn_listener(self, listener: ChurnListener) -> None:
+        """Register a churn listener (see :data:`ChurnListener`)."""
+        self._churn_listeners.append(listener)
+
+    def remove_churn_listener(self, listener: ChurnListener) -> None:
+        """Unregister a churn listener (no-op when absent)."""
+        try:
+            self._churn_listeners.remove(listener)
+        except ValueError:
+            pass
+
+    def _notify_churn(
+        self,
+        newly_down_nodes: frozenset,
+        newly_up_nodes: frozenset,
+        newly_down_links: frozenset,
+        newly_up_links: frozenset,
+    ) -> None:
+        for listener in self._churn_listeners:
+            listener(
+                newly_down_nodes, newly_up_nodes, newly_down_links, newly_up_links
+            )
 
     @property
     def tree_cache_capacity(self) -> Optional[int]:
@@ -268,6 +312,7 @@ class OverlayRouter:
         self._closed = True
         for link in self.network.links:
             link.remove_change_listener(self._on_link_bandwidth)
+        self._churn_listeners.clear()
         self._trees.clear()
         self._path_cache.clear()
         self._qos_cache.clear()
@@ -371,10 +416,12 @@ class OverlayRouter:
                 f"eager all-pairs routing (incremental=False) refuses "
                 f"{n} overlay nodes: it would allocate two dense "
                 f"{n}×{n} float64 matrices "
-                f"(~{2 * 16 * n * n // 2 ** 20} MB). Use incremental "
-                f"routing (the default) with a bounded tree cache, or "
-                f"raise eager_max_nodes explicitly "
-                f"(current limit {self._eager_max_nodes})."
+                f"(~{2 * 16 * n * n // 2 ** 20} MB). Use "
+                f"SystemConfig(incremental_routing=True) (the default) for "
+                f"LRU-bounded per-source trees, or raise the cap explicitly "
+                f"with OverlayRouter(eager_max_nodes=...) (module default "
+                f"EAGER_ALLPAIRS_MAX_NODES = {EAGER_ALLPAIRS_MAX_NODES}; "
+                f"this router's limit {self._eager_max_nodes})."
             )
         self._all_distances, self._all_predecessors = dijkstra(
             self._matrix, directed=False, return_predecessors=True
@@ -499,6 +546,7 @@ class OverlayRouter:
                     patched_trees=0,
                     eager=True,
                 )
+            self._notify_churn(newly_down, newly_up, frozenset(), frozenset())
             return
 
         changed_roots = newly_down | newly_up
@@ -561,6 +609,7 @@ class OverlayRouter:
                 patched_trees=patched,
                 eager=False,
             )
+        self._notify_churn(newly_down, newly_up, frozenset(), frozenset())
 
     @property
     def down_links(self) -> frozenset:
@@ -605,6 +654,7 @@ class OverlayRouter:
                     dropped_trees=dropped,
                     eager=True,
                 )
+            self._notify_churn(frozenset(), frozenset(), newly_down, newly_up)
             return
 
         failed = (
@@ -654,6 +704,7 @@ class OverlayRouter:
                 dropped_trees=dropped,
                 eager=False,
             )
+        self._notify_churn(frozenset(), frozenset(), newly_down, newly_up)
 
     def row_version(self, source: int) -> int:
         """Version of ``source``'s routing rows (the topology epoch its

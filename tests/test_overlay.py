@@ -1,15 +1,19 @@
 """Unit tests for the overlay mesh and overlay links."""
 
+import math
 import random
 
+import numpy as np
 import pytest
 
+from repro.topology import overlay
 from repro.topology.ip_network import IPNetwork
 from repro.topology.overlay import (
     InsufficientBandwidthError,
     OverlayLink,
     OverlayNetwork,
     build_overlay_network,
+    k_smallest_stable,
 )
 from repro.topology.powerlaw import PowerLawTopologyGenerator
 from repro.model.node import Node
@@ -194,3 +198,68 @@ class TestBuildOverlayNetwork:
             build_overlay_network(
                 ip, 10, rng=random.Random(1), dijkstra_batch_size=0
             )
+
+
+class TestPartialSortNeighborSelection:
+    """``k_smallest_stable`` must pick *exactly* the prefix a full stable
+    argsort would — including across ties — so the partial-sort build
+    chooses byte-identical neighbour pairs to the old O(n log n) path."""
+
+    def test_matches_full_stable_argsort_prefix(self):
+        gen = np.random.default_rng(3)
+        for trial in range(60):
+            n = int(gen.integers(1, 40))
+            if trial % 2:
+                row = gen.random(n)
+            else:
+                # integer-valued rows force heavy ties, the hard case for
+                # partition-based selection
+                row = gen.integers(0, 4, n).astype(float)
+            for count in (1, 2, n // 2 + 1, n - 1, n, n + 3):
+                if count < 1:
+                    continue
+                got = k_smallest_stable(row, count)
+                want = np.argsort(row, kind="stable")[:count]
+                assert np.array_equal(got, want), (row, count)
+
+    def test_all_tied_row_keeps_index_order(self):
+        row = np.zeros(9)
+        assert k_smallest_stable(row, 4).tolist() == [0, 1, 2, 3]
+
+    @pytest.mark.parametrize(
+        "num_nodes,seeds",
+        [(60, (1, 2, 3)), (600, (1, 2)), (2048, (1,))],
+    )
+    def test_build_identical_to_full_argsort_path(
+        self, num_nodes, seeds, monkeypatch
+    ):
+        """End to end: the partial-sort build and the old full-argsort
+        build produce identical overlays (same node placement, same
+        neighbour pairs, same link figures) for every seed and size."""
+        num_routers = max(120, math.ceil(num_nodes * 1.2))
+        ip = IPNetwork(
+            PowerLawTopologyGenerator(
+                num_routers=num_routers, seed=num_nodes
+            ).generate()
+        )
+        for seed in seeds:
+            fast = build_overlay_network(ip, num_nodes, rng=random.Random(seed))
+            with monkeypatch.context() as m:
+                m.setattr(
+                    overlay,
+                    "k_smallest_stable",
+                    lambda row, count: np.argsort(row, kind="stable"),
+                )
+                full = build_overlay_network(
+                    ip, num_nodes, rng=random.Random(seed)
+                )
+            assert [(n.router_id, n.capacity) for n in fast.nodes] == [
+                (n.router_id, n.capacity) for n in full.nodes
+            ]
+            assert [
+                (l.endpoints, l.delay_ms, l.loss_rate, l.capacity_kbps)
+                for l in fast.links
+            ] == [
+                (l.endpoints, l.delay_ms, l.loss_rate, l.capacity_kbps)
+                for l in full.links
+            ]

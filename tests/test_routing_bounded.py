@@ -183,6 +183,19 @@ class TestEagerGuard:
         with pytest.raises(RoutingError, match="eager all-pairs"):
             OverlayRouter(network, incremental=False, eager_max_nodes=10)
 
+    def test_refusal_names_the_escape_hatches(self):
+        """The message must tell the operator exactly what to do: the
+        config knob that avoids the dense solve and the cap override."""
+        network = random_mesh(1, num_nodes=12, extra_edges=6)
+        with pytest.raises(RoutingError) as excinfo:
+            OverlayRouter(network, incremental=False, eager_max_nodes=10)
+        message = str(excinfo.value)
+        assert "SystemConfig(incremental_routing=True)" in message
+        assert "EAGER_ALLPAIRS_MAX_NODES" in message
+        assert "eager_max_nodes" in message
+        assert "limit 10" in message
+        assert "12 overlay nodes" in message
+
     def test_incremental_unaffected_by_threshold(self):
         network = random_mesh(1, num_nodes=12, extra_edges=6)
         router = OverlayRouter(network, incremental=True, eager_max_nodes=10)
