@@ -3,7 +3,7 @@
 
 PYTEST := PYTHONPATH=src python -m pytest
 
-.PHONY: test lint bench bench-micro bench-macro bench-faults bench-scale bench-scale-smoke trace-demo
+.PHONY: test lint bench bench-micro bench-macro bench-faults bench-scale bench-scale-smoke bench-population bench-population-smoke trace-demo
 
 test:
 	$(PYTEST) -x -q tests
@@ -83,6 +83,25 @@ bench-scale-smoke:
 bench-faults:
 	$(PYTEST) -q -s benchmarks/test_macro_faults.py
 	@echo "survival: benchmarks/results/BENCH_faults.json"
+
+# Population-scale workload sweep: the standard scenario set (steady,
+# diurnal, flash_crowd) across 1x/10x/100x load multipliers on the mean
+# active population.  Per-window SLO series (success, p50/p99 setup
+# latency, admission pressure, session/queue gauges) land in
+# benchmarks/results/BENCH_population.json; the run asserts the steady
+# baseline is healthy at 1x and that 100x overload is non-degenerate
+# (failures under contention, sessions piling up, no crash).  ~3 minutes.
+bench-population:
+	$(PYTEST) -q -s benchmarks/test_population.py
+	@echo "sweep: benchmarks/results/BENCH_population.json"
+
+# Same harness at whatever multipliers the caller sets via
+# BENCH_POPULATION_MULTIPLIERS (comma-separated); writes
+# BENCH_population_smoke.json so a smoke run can never clobber the
+# committed full sweep.  CI runs this at 1x/10x on every push.
+bench-population-smoke:
+	BENCH_POPULATION_MULTIPLIERS=$${BENCH_POPULATION_MULTIPLIERS:-1,10} $(PYTEST) -q -s benchmarks/test_population.py
+	@echo "smoke sweep: benchmarks/results/BENCH_population_smoke.json"
 
 # Full benchmark suite: every figure harness at FAST_SCALE plus the micro
 # operations.  Figure rows land in benchmarks/results/*.txt.  The ~10-min

@@ -23,12 +23,15 @@ from typing import List, Optional, Sequence
 from repro.experiments import (
     ALGORITHMS,
     DEFAULT_FAULT_PLAN,
+    DEFAULT_LOAD_MULTIPLIERS,
     FAST_SCALE,
     PAPER_SCALE,
+    POPULATION_SCENARIOS,
     default_spec,
     format_faults_table,
     format_fig8_table,
     format_figure_table,
+    format_population_table,
     format_report_summary,
     run_faults,
     run_fig5a,
@@ -36,6 +39,7 @@ from repro.experiments import (
     run_fig6,
     run_fig7,
     run_fig8,
+    run_population,
     run_specs,
 )
 from repro.experiments.runner import build_simulator
@@ -144,6 +148,28 @@ def build_parser() -> argparse.ArgumentParser:
     faults.add_argument(
         "--detection-delay", type=float, default=2.0,
         help="seconds between a fault and the recovery sweep (default: 2)",
+    )
+
+    population = add_command(
+        "population", "population-scale workloads: overload, diurnal, flash crowds"
+    )
+    population.add_argument(
+        "--scenarios", default=",".join(POPULATION_SCENARIOS),
+        help="comma-separated scenario names "
+        f"(default: {','.join(POPULATION_SCENARIOS)})",
+    )
+    population.add_argument(
+        "--multipliers", type=_floats,
+        default=list(DEFAULT_LOAD_MULTIPLIERS),
+        help="load multipliers on the mean population (default: 1,10,100)",
+    )
+    population.add_argument(
+        "--users", type=float, default=25.0,
+        help="mean active users at 1x load (default: 25)",
+    )
+    population.add_argument(
+        "--user-rate", type=float, default=2.0,
+        help="requests per user per minute (default: 2)",
     )
 
     compare = add_command("compare", "all algorithms at one workload point")
@@ -267,6 +293,18 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             workers=args.workers,
         )
         _emit(format_faults_table(result), args.output)
+    elif args.command == "population":
+        result = run_population(
+            scale=scale,
+            scenarios=args.scenarios.split(","),
+            multipliers=args.multipliers,
+            mean_active_users=args.users,
+            requests_per_user_per_min=args.user_rate,
+            num_nodes=args.nodes,
+            seed=args.seed,
+            workers=args.workers,
+        )
+        _emit(format_population_table(result), args.output)
     elif args.command == "compare":
         base = default_spec(
             scale=scale, num_nodes=args.nodes, rate_per_min=args.rate,

@@ -23,6 +23,7 @@ from typing import Optional, Tuple, Union
 from repro.discovery.deployment import DeploymentProfile
 from repro.middleware.session import RecoveryPolicy
 from repro.simulation.failures import FaultPlan
+from repro.simulation.population import PopulationProfile
 from repro.simulation.system import SystemConfig
 from repro.simulation.workload import QOS_LEVELS, QoSLevel, RateSchedule
 
@@ -94,6 +95,9 @@ class RunSpec:
     faults: Optional[FaultPlan] = None
     #: crash-triggered session re-composition (None: faults kill sessions)
     recovery: Optional[RecoveryPolicy] = None
+    #: user-population arrival process; overrides ``schedule`` when set
+    #: (the population draws from its own workload_seed + 43 stream)
+    population: Optional[PopulationProfile] = None
 
     def __post_init__(self) -> None:
         if self.algorithm not in ALGORITHMS:
@@ -123,6 +127,11 @@ class RunSpec:
         recovery: Optional[RecoveryPolicy] = None,
     ) -> "RunSpec":
         return replace(self, faults=faults, recovery=recovery)
+
+    def with_population(
+        self, population: Optional[PopulationProfile]
+    ) -> "RunSpec":
+        return replace(self, population=population)
 
 
 def default_spec(

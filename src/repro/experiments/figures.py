@@ -39,6 +39,11 @@ from repro.experiments.runner import run_specs
 from repro.middleware.session import RecoveryPolicy
 from repro.simulation.failures import FaultPlan
 from repro.simulation.metrics import SimulationReport, WindowSample
+from repro.simulation.population import (
+    DiurnalCurve,
+    PopulationProfile,
+    TrafficEvent,
+)
 from repro.simulation.workload import RateSchedule
 
 #: x-axis defaults straight from the paper
@@ -356,3 +361,140 @@ def run_faults(
         workers=workers,
     )
     return FaultsResult(plan, baseline_report, resilient_report)
+
+
+# -- Population-scale workloads: overload, diurnal curves, flash crowds ------------
+
+#: Load multipliers of the population sweep — the paper's regime (1×),
+#: sustained heavy load (10×), and deep overload (100×).
+DEFAULT_LOAD_MULTIPLIERS: Tuple[float, ...] = (1.0, 10.0, 100.0)
+
+#: Scenario names the sweep knows how to build.
+POPULATION_SCENARIOS: Tuple[str, ...] = ("steady", "diurnal", "flash_crowd")
+
+
+def population_scenarios(
+    duration_s: float,
+    mean_active_users: float = 25.0,
+    requests_per_user_per_min: float = 2.0,
+    num_client_routers: int = 800,
+) -> Dict[str, PopulationProfile]:
+    """The standard scenario set at 1× load, compressed into the horizon.
+
+    * ``steady`` — the population process alone (Poisson-resampled users,
+      no modulation): the paper's flat regime, but rate now emerges from
+      users × per-user rate;
+    * ``diurnal`` — one full day/night cycle squeezed into the run
+      (trough 0.3×, peak 1.5×), so every run sees a quiet phase, a climb,
+      and a peak;
+    * ``flash_crowd`` — steady traffic plus a 6× system-wide surge over
+      the middle third and a 3× regional spike (first quarter of the
+      client-router space) late in the run.
+    """
+    curve = DiurnalCurve(
+        (
+            (0.15 * duration_s, 0.3),
+            (0.60 * duration_s, 1.5),
+        ),
+        period_s=duration_s,
+    )
+    flash = TrafficEvent.flash_crowd(
+        start_s=0.35 * duration_s,
+        peak_multiplier=6.0,
+        ramp_s=0.05 * duration_s,
+        plateau_s=0.15 * duration_s,
+        decay_s=0.10 * duration_s,
+    )
+    spike = TrafficEvent.regional_spike(
+        start_s=0.70 * duration_s,
+        peak_multiplier=3.0,
+        region=(0, max(1, num_client_routers // 4)),
+        ramp_s=0.03 * duration_s,
+        plateau_s=0.10 * duration_s,
+        decay_s=0.05 * duration_s,
+    )
+    base = PopulationProfile(
+        mean_active_users=mean_active_users,
+        requests_per_user_per_min=requests_per_user_per_min,
+    )
+    return {
+        "steady": base,
+        "diurnal": replace(base, diurnal=curve),
+        "flash_crowd": replace(base, events=(flash, spike)),
+    }
+
+
+@dataclass(frozen=True)
+class PopulationScenario:
+    """One scenario's sweep: the 1× profile plus per-multiplier reports."""
+
+    name: str
+    profile: PopulationProfile
+    points: Tuple[Tuple[float, SimulationReport], ...]
+
+    def report_at(self, multiplier: float) -> SimulationReport:
+        for point_multiplier, report in self.points:
+            if point_multiplier == multiplier:
+                return report
+        raise KeyError(f"no report at multiplier {multiplier}")
+
+
+@dataclass(frozen=True)
+class PopulationResult:
+    """The population sweep: scenarios × load multipliers."""
+
+    scenarios: Tuple[PopulationScenario, ...]
+
+    def scenario(self, name: str) -> PopulationScenario:
+        for scenario in self.scenarios:
+            if scenario.name == name:
+                return scenario
+        raise KeyError(f"no scenario {name!r}")
+
+
+def run_population(
+    scale: ExperimentScale = PAPER_SCALE,
+    scenarios: Sequence[str] = POPULATION_SCENARIOS,
+    multipliers: Sequence[float] = DEFAULT_LOAD_MULTIPLIERS,
+    mean_active_users: float = 25.0,
+    requests_per_user_per_min: float = 2.0,
+    algorithm: str = "ACP",
+    num_nodes: int = 400,
+    seed: int = 0,
+    workers: Optional[int] = None,
+) -> PopulationResult:
+    """Sweep population scenarios across load multipliers.
+
+    Every run shares the system seed and workload seed, so two points
+    differ only in their population profile — success-rate and latency
+    deltas are attributable to load alone.  The interesting regime is the
+    top multiplier, where admission pressure and queue depth become
+    visible in the per-window SLO series.
+    """
+    profiles = population_scenarios(
+        scale.duration_s,
+        mean_active_users=mean_active_users,
+        requests_per_user_per_min=requests_per_user_per_min,
+        num_client_routers=scale.num_routers,
+    )
+    unknown = [name for name in scenarios if name not in profiles]
+    if unknown:
+        raise ValueError(
+            f"unknown scenarios {unknown}; pick from {sorted(profiles)}"
+        )
+    base = default_spec(
+        scale=scale, algorithm=algorithm, num_nodes=num_nodes, seed=seed
+    ).with_qos(DEFAULT_QOS)
+    specs = [
+        base.with_population(profiles[name].scaled(multiplier))
+        for name in scenarios
+        for multiplier in multipliers
+    ]
+    reports = iter(run_specs(specs, workers=workers))
+    results = []
+    for name in scenarios:
+        points = tuple(
+            (multiplier, next(reports)) for multiplier in multipliers
+        )
+        results.append(PopulationScenario(name, profiles[name], points))
+    return PopulationResult(tuple(results))

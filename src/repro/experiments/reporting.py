@@ -9,7 +9,12 @@ from __future__ import annotations
 
 from typing import List, Sequence
 
-from repro.experiments.figures import FaultsResult, FigureResult, Fig8Result
+from repro.experiments.figures import (
+    FaultsResult,
+    FigureResult,
+    Fig8Result,
+    PopulationResult,
+)
 from repro.simulation.metrics import SimulationReport
 
 
@@ -146,6 +151,66 @@ def faults_to_dict(result: FaultsResult) -> dict:
     }
 
 
+def format_population_table(result: PopulationResult) -> str:
+    """Render the population sweep: one row per scenario × multiplier."""
+    header = [
+        "scenario",
+        "load",
+        "requests",
+        "success (%)",
+        "p50 setup (ms)",
+        "p99 setup (ms)",
+        "admission pressure (%)",
+        "peak sessions",
+        "peak queue",
+    ]
+    rows = []
+    for scenario in result.scenarios:
+        for multiplier, report in scenario.points:
+            rows.append(
+                [
+                    scenario.name,
+                    f"{multiplier:g}x",
+                    str(report.total_requests),
+                    f"{100.0 * report.success_rate:.1f}",
+                    "-"
+                    if report.p50_setup_latency_ms is None
+                    else f"{report.p50_setup_latency_ms:.1f}",
+                    "-"
+                    if report.p99_setup_latency_ms is None
+                    else f"{report.p99_setup_latency_ms:.1f}",
+                    f"{100.0 * report.admission_pressure:.1f}",
+                    str(report.peak_open_sessions),
+                    str(report.peak_transient_reservations),
+                ]
+            )
+    title = "Population-scale workloads: SLO summary by scenario and load"
+    return title + "\n" + _align([header] + rows)
+
+
+def population_to_dict(result: PopulationResult) -> dict:
+    """A population sweep as a JSON-serialisable dict (the
+    ``BENCH_population.json`` payload shape)."""
+    scenarios = {}
+    for scenario in result.scenarios:
+        profile = scenario.profile
+        scenarios[scenario.name] = {
+            "profile": {
+                "mean_active_users": profile.mean_active_users,
+                "requests_per_user_per_min": profile.requests_per_user_per_min,
+                "distribution": profile.distribution,
+                "user_sampling_window_s": profile.user_sampling_window_s,
+                "diurnal": profile.diurnal is not None,
+                "events": len(profile.events),
+            },
+            "loads": {
+                f"{multiplier:g}x": report_to_dict(report)
+                for multiplier, report in scenario.points
+            },
+        }
+    return {"scenarios": scenarios}
+
+
 def format_report_summary(reports: Sequence[SimulationReport]) -> str:
     """One line per algorithm: the whole-run summary comparison."""
     header = [
@@ -225,12 +290,22 @@ def report_to_dict(report: SimulationReport) -> dict:
         "overhead_per_min": report.overhead_per_min,
         "mean_phi": report.mean_phi,
         "failure_reasons": dict(report.failure_reasons),
+        "p50_setup_latency_ms": report.p50_setup_latency_ms,
+        "p99_setup_latency_ms": report.p99_setup_latency_ms,
+        "admission_pressure": report.admission_pressure,
+        "peak_open_sessions": report.peak_open_sessions,
+        "peak_transient_reservations": report.peak_transient_reservations,
         "window_samples": [
             {
                 "time": sample.time,
                 "success_rate": sample.success_rate,
                 "requests": sample.requests,
                 "probing_ratio": sample.probing_ratio,
+                "p50_setup_latency_ms": sample.p50_setup_latency_ms,
+                "p99_setup_latency_ms": sample.p99_setup_latency_ms,
+                "admission_pressure": sample.admission_pressure,
+                "open_sessions": sample.open_sessions,
+                "transient_reservations": sample.transient_reservations,
             }
             for sample in report.window_samples
         ],

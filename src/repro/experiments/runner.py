@@ -38,8 +38,9 @@ from repro.observability import Recorder
 from repro.simulation.failures import FailureInjector, install_control_plane_faults
 from repro.simulation.metrics import SimulationReport
 from repro.simulation.simulator import StreamProcessingSimulator
+from repro.simulation.population import PopulationWorkload
 from repro.simulation.system import StreamSystem, build_system
-from repro.simulation.workload import WorkloadGenerator
+from repro.simulation.workload import WorkloadGenerator, WorkloadSource
 
 
 def make_composer(spec: RunSpec, context: CompositionContext) -> Composer:
@@ -74,13 +75,20 @@ def build_simulator(
     """
     system = system or build_system(spec.system)
     recorder = recorder if recorder is not None else system.recorder
-    workload = WorkloadGenerator(
+    workload: WorkloadSource = WorkloadGenerator(
         system.templates,
         spec.schedule,
         qos_level=spec.qos_level,
         num_client_routers=spec.system.num_routers,
         seed=spec.workload_seed,
     )
+    if spec.population is not None:
+        # the population's arrival process draws from its own seed slot
+        # (+43) so attaching it never perturbs the request-attribute
+        # stream, and vice versa
+        workload = PopulationWorkload(
+            workload, spec.population, seed=spec.workload_seed + 43
+        )
     context = system.composition_context(
         rng=random.Random(spec.workload_seed + 17), recorder=recorder
     )

@@ -171,6 +171,24 @@ class ComponentGraph:
             worst = [max(w, v) for w, v in zip(worst, qos.values)]
         return QoSVector(schema, worst)
 
+    def worst_link_delay_ms(self) -> float:
+        """Max over source-to-sink paths of the summed virtual-link delay.
+
+        The network component of the critical path: what one traversal of
+        the composed graph's slowest path costs in link delay alone
+        (co-located links contribute 0, footnote 4).  The simulator prices
+        session setup as one probe wavefront out plus one confirmation
+        back along this path.
+        """
+        worst = 0.0
+        for path in self.request.function_graph.all_paths():
+            total = 0.0
+            for position in range(len(path) - 1):
+                edge = (path[position], path[position + 1])
+                total += self._links[edge].qos["delay"]
+            worst = max(worst, total)
+        return worst
+
     # -- congestion aggregation φ(λ) (Eq. 1) ------------------------------------
 
     def congestion_aggregation(

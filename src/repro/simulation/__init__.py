@@ -17,10 +17,19 @@ from repro.simulation.engine import (
     SchedulerError,
 )
 from repro.simulation.metrics import (
+    CONTENTION_REASONS,
     MetricsCollector,
     RequestRecord,
     SimulationReport,
     WindowSample,
+    percentile,
+)
+from repro.simulation.population import (
+    DiurnalCurve,
+    PopulationProfile,
+    PopulationWorkload,
+    TrafficEvent,
+    poisson_sample,
 )
 from repro.simulation.simulator import StreamProcessingSimulator
 from repro.simulation.system import StreamSystem, SystemConfig, build_system
@@ -32,9 +41,18 @@ from repro.simulation.workload import (
     ReplayWorkload,
     WorkloadGenerator,
     WorkloadProfile,
+    WorkloadSource,
 )
 
 __all__ = [
+    "CONTENTION_REASONS",
+    "percentile",
+    "DiurnalCurve",
+    "PopulationProfile",
+    "PopulationWorkload",
+    "TrafficEvent",
+    "poisson_sample",
+    "WorkloadSource",
     "FailureInjector",
     "FailureEvent",
     "FaultPlan",

@@ -15,10 +15,38 @@ summaries (:class:`SimulationReport`).
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.observability import NULL_RECORDER, Recorder
+
+#: failure reasons that indicate contention for resources (admission
+#: pressure) rather than an infeasible request: probe loss under load,
+#: commit races, and exhausted candidate pools all rise with overload.
+CONTENTION_REASONS = frozenset(
+    {
+        "probes_dropped",
+        "admission_race",
+        "no_qualified_composition",
+        "no_qualified_candidates",
+    }
+)
+
+
+def percentile(values: Sequence[float], q: float) -> Optional[float]:
+    """Nearest-rank percentile of ``values`` (q in [0, 1]); None if empty.
+
+    Nearest-rank (not interpolated) so reported latencies are always
+    observed values, and small windows behave predictably.
+    """
+    if not values:
+        return None
+    if not 0.0 <= q <= 1.0:
+        raise ValueError(f"quantile must be in [0, 1]: {q}")
+    ordered = sorted(values)
+    rank = min(len(ordered) - 1, max(0, math.ceil(q * len(ordered)) - 1))
+    return ordered[rank]
 
 
 @dataclass(frozen=True)
@@ -33,16 +61,36 @@ class RequestRecord:
     explored: int
     phi: Optional[float] = None
     failure_reason: Optional[str] = None
+    #: session setup latency (probe wavefront out + confirmation back along
+    #: the committed composition's critical path); None on failure
+    setup_latency_ms: Optional[float] = None
 
 
 @dataclass(frozen=True)
 class WindowSample:
-    """One sampling-period observation (drives Fig. 8's time series)."""
+    """One sampling-period observation (drives Fig. 8's time series).
+
+    The trailing SLO fields are per-window measurements: latency
+    percentiles over the window's *successful* setups, admission pressure
+    (fraction of requests rejected for contention reasons — see
+    :data:`CONTENTION_REASONS`), and point-in-time queue gauges sampled at
+    window close.  Unlike ``success_rate``, none of them carry forward
+    over idle windows: an empty window reports 0 requests, None
+    percentiles, and 0.0 pressure.
+    """
 
     time: float
     success_rate: float
     requests: int
     probing_ratio: Optional[float] = None
+    p50_setup_latency_ms: Optional[float] = None
+    p99_setup_latency_ms: Optional[float] = None
+    #: fraction of the window's requests rejected for contention reasons
+    admission_pressure: float = 0.0
+    #: open sessions at window close (None when the caller has no gauge)
+    open_sessions: Optional[int] = None
+    #: transient (probe-held) reservations at window close
+    transient_reservations: Optional[int] = None
 
 
 @dataclass
@@ -78,6 +126,17 @@ class SimulationReport:
     state_updates_lost: int = 0
     #: probe messages dropped by the lossy control channel
     probe_messages_lost: int = 0
+    # run-level SLO summaries (None / 0 when latency was not measured)
+    #: median setup latency over all successful compositions
+    p50_setup_latency_ms: Optional[float] = None
+    #: 99th-percentile setup latency over all successful compositions
+    p99_setup_latency_ms: Optional[float] = None
+    #: fraction of all requests rejected for contention reasons
+    admission_pressure: float = 0.0
+    #: max open-session gauge observed at any window close
+    peak_open_sessions: int = 0
+    #: max transient-reservation gauge observed at any window close
+    peak_transient_reservations: int = 0
 
     @property
     def session_survival_rate(self) -> float:
@@ -126,6 +185,8 @@ class MetricsCollector:
         self._samples: List[WindowSample] = []
         self._window_success = 0
         self._window_total = 0
+        self._window_contended = 0
+        self._window_latencies: List[float] = []
 
     # -- per-request path -----------------------------------------------------
 
@@ -134,6 +195,10 @@ class MetricsCollector:
         self._window_total += 1
         if record.success:
             self._window_success += 1
+            if record.setup_latency_ms is not None:
+                self._window_latencies.append(record.setup_latency_ms)
+        elif record.failure_reason in CONTENTION_REASONS:
+            self._window_contended += 1
 
     @property
     def records(self) -> Tuple[RequestRecord, ...]:
@@ -142,21 +207,42 @@ class MetricsCollector:
     # -- windowed sampling -------------------------------------------------------
 
     def close_window(
-        self, time: float, probing_ratio: Optional[float] = None
+        self,
+        time: float,
+        probing_ratio: Optional[float] = None,
+        open_sessions: Optional[int] = None,
+        transient_reservations: Optional[int] = None,
     ) -> WindowSample:
         """End the current sampling period and start a new one.
 
         Returns the sample for the closed window; a window with no requests
         reports the previous window's rate (the system was idle, not
-        failing), or 1.0 at the very start.
+        failing), or 1.0 at the very start.  The SLO fields are *never*
+        carried over an idle window: latency percentiles are None and
+        admission pressure 0.0 when no requests arrived.  ``open_sessions``
+        and ``transient_reservations`` are point-in-time gauges the caller
+        samples at close.
         """
         if self._window_total > 0:
             rate = self._window_success / self._window_total
+            pressure = self._window_contended / self._window_total
         elif self._samples:
             rate = self._samples[-1].success_rate
+            pressure = 0.0
         else:
             rate = 1.0
-        sample = WindowSample(time, rate, self._window_total, probing_ratio)
+            pressure = 0.0
+        sample = WindowSample(
+            time,
+            rate,
+            self._window_total,
+            probing_ratio,
+            p50_setup_latency_ms=percentile(self._window_latencies, 0.50),
+            p99_setup_latency_ms=percentile(self._window_latencies, 0.99),
+            admission_pressure=pressure,
+            open_sessions=open_sessions,
+            transient_reservations=transient_reservations,
+        )
         self._samples.append(sample)
         if self.recorder.enabled:
             self.recorder.emit(
@@ -166,10 +252,17 @@ class MetricsCollector:
                 requests=sample.requests,
                 probing_ratio=probing_ratio,
                 carried=sample.requests == 0,
+                p50_setup_latency_ms=sample.p50_setup_latency_ms,
+                p99_setup_latency_ms=sample.p99_setup_latency_ms,
+                admission_pressure=pressure,
+                open_sessions=open_sessions,
+                transient_reservations=transient_reservations,
             )
             self.recorder.set_gauge("window.success_rate", rate)
         self._window_success = 0
         self._window_total = 0
+        self._window_contended = 0
+        self._window_latencies = []
         return sample
 
     @property
@@ -211,6 +304,16 @@ class MetricsCollector:
         probe_messages_lost: int = 0,
     ) -> SimulationReport:
         phis = [r.phi for r in self._records if r.success and r.phi is not None]
+        latencies = [
+            r.setup_latency_ms
+            for r in self._records
+            if r.success and r.setup_latency_ms is not None
+        ]
+        contended = sum(
+            1
+            for r in self._records
+            if not r.success and r.failure_reason in CONTENTION_REASONS
+        )
         return SimulationReport(
             algorithm=algorithm,
             duration_s=duration_s,
@@ -231,4 +334,21 @@ class MetricsCollector:
             mean_recovery_latency_s=mean_recovery_latency_s,
             state_updates_lost=state_updates_lost,
             probe_messages_lost=probe_messages_lost,
+            p50_setup_latency_ms=percentile(latencies, 0.50),
+            p99_setup_latency_ms=percentile(latencies, 0.99),
+            admission_pressure=(
+                contended / len(self._records) if self._records else 0.0
+            ),
+            peak_open_sessions=max(
+                (s.open_sessions for s in self._samples if s.open_sessions is not None),
+                default=0,
+            ),
+            peak_transient_reservations=max(
+                (
+                    s.transient_reservations
+                    for s in self._samples
+                    if s.transient_reservations is not None
+                ),
+                default=0,
+            ),
         )

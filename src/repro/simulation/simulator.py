@@ -29,7 +29,7 @@ from repro.simulation.failures import FailureInjector
 from repro.simulation.engine import EventScheduler
 from repro.simulation.metrics import MetricsCollector, RequestRecord, SimulationReport
 from repro.simulation.system import StreamSystem
-from repro.simulation.workload import WorkloadGenerator
+from repro.simulation.workload import WorkloadSource
 
 
 class StreamProcessingSimulator:
@@ -39,7 +39,7 @@ class StreamProcessingSimulator:
         self,
         system: StreamSystem,
         composer: Composer,
-        workload: WorkloadGenerator,
+        workload: WorkloadSource,
         sampling_period_s: float = 300.0,
         tuner: Optional[ProbingRatioTuner] = None,
         migration: Optional[ComponentMigrationManager] = None,
@@ -98,6 +98,13 @@ class StreamProcessingSimulator:
         request = self.workload.make_request(now)
         session_id, outcome = self.sessions.find(request)
         phi = outcome.phi if outcome.success else None
+        setup_latency_ms = None
+        if session_id is not None and outcome.composition is not None:
+            # session setup cost: one probe wavefront out plus one
+            # confirmation back along the committed composition's critical
+            # virtual-link path (pure function of the composition — no
+            # randomness, so the rng streams are untouched)
+            setup_latency_ms = 2.0 * outcome.composition.worst_link_delay_ms()
         self.metrics.record(
             RequestRecord(
                 request_id=request.request_id,
@@ -108,6 +115,7 @@ class StreamProcessingSimulator:
                 explored=outcome.explored,
                 phi=phi,
                 failure_reason=outcome.failure_reason,
+                setup_latency_ms=setup_latency_ms,
             )
         )
         if session_id is not None:
@@ -128,12 +136,20 @@ class StreamProcessingSimulator:
 
     def _on_sampling_tick(self) -> None:
         now = self.scheduler.now
+        # sample the reservation queue *before* the expiry sweep: the gauge
+        # should show what piled up over the window, not the swept floor
+        transient = len(self.system.allocator.transient_request_ids)
         # probe reservations whose confirmation never came time out here
         self.system.allocator.expire_due(now)
         ratio = None
         if isinstance(self.composer, ACPComposer):
             ratio = self.composer.current_probing_ratio()
-        sample = self.metrics.close_window(now, probing_ratio=ratio)
+        sample = self.metrics.close_window(
+            now,
+            probing_ratio=ratio,
+            open_sessions=self.sessions.active_session_count,
+            transient_reservations=transient,
+        )
         # an idle window carries the previous rate forward for the Fig. 8
         # series, but that carried value is NOT a measurement of the
         # current ratio — feeding it to the tuner would register phantom

@@ -20,14 +20,31 @@ from __future__ import annotations
 
 import math
 import random
-from dataclasses import dataclass, replace
-from typing import Dict, Iterable, Iterator, Tuple
+from bisect import bisect_left, bisect_right
+from dataclasses import dataclass, field, replace
+from typing import Dict, Iterable, Iterator, List, Optional, Protocol, Tuple
 
 from repro.model.function_graph import FunctionGraph
 from repro.model.qos import DEFAULT_QOS_SCHEMA, QoSSchema, QoSVector
 from repro.model.request import StreamRequest, derive_bandwidth_requirements
 from repro.model.resources import DEFAULT_RESOURCE_SCHEMA, ResourceSchema, ResourceVector
 from repro.model.templates import TemplateLibrary
+
+
+class WorkloadSource(Protocol):
+    """The duck type the simulator consumes: an arrival process plus a
+    request factory.  :class:`WorkloadGenerator`, :class:`RecordingWorkload`,
+    :class:`ReplayWorkload`, and ``repro.simulation.population``'s
+    :class:`~repro.simulation.population.PopulationWorkload` all satisfy it.
+    """
+
+    def next_interarrival(self, now_s: float) -> float:
+        """Seconds from ``now_s`` until the next request arrives."""
+        ...
+
+    def make_request(self, arrival_time: float) -> "StreamRequest":
+        """Materialise the request arriving at ``arrival_time``."""
+        ...
 
 
 @dataclass(frozen=True)
@@ -62,6 +79,8 @@ class RateSchedule:
     """
 
     segments: Tuple[Tuple[float, float], ...]
+    #: segment start times, cached for bisect lookups
+    _starts: Tuple[float, ...] = field(init=False, repr=False, compare=False)
 
     def __post_init__(self) -> None:
         if not self.segments:
@@ -69,11 +88,15 @@ class RateSchedule:
         if self.segments[0][0] != 0.0:
             raise ValueError("first segment must start at time 0")
         times = [start for start, _rate in self.segments]
-        if times != sorted(times):
-            raise ValueError(f"segment starts must be non-decreasing: {times}")
+        for earlier, later in zip(times, times[1:]):
+            if later <= earlier:
+                raise ValueError(
+                    f"segment starts must be strictly increasing: {times}"
+                )
         for _start, rate in self.segments:
             if rate <= 0.0:
                 raise ValueError(f"rates must be positive, got {rate}")
+        object.__setattr__(self, "_starts", tuple(times))
 
     @classmethod
     def constant(cls, rate_per_min: float) -> "RateSchedule":
@@ -84,13 +107,19 @@ class RateSchedule:
         return cls(tuple(segments))
 
     def rate_at(self, time_s: float) -> float:
-        current = self.segments[0][1]
-        for start, rate in self.segments:
-            if time_s >= start:
-                current = rate
-            else:
-                break
-        return current
+        """Rate in effect at ``time_s`` (O(log segments) bisect)."""
+        index = bisect_right(self._starts, time_s) - 1
+        if index < 0:
+            index = 0
+        return self.segments[index][1]
+
+    def next_change_after(self, time_s: float) -> Optional[float]:
+        """Start time of the next rate step strictly after ``time_s``, or
+        ``None`` when the schedule is constant from ``time_s`` onward."""
+        index = bisect_right(self._starts, time_s)
+        if index >= len(self._starts):
+            return None
+        return self._starts[index]
 
 
 @dataclass(frozen=True)
@@ -140,9 +169,32 @@ class WorkloadGenerator:
     # -- arrivals ------------------------------------------------------------
 
     def next_interarrival(self, now_s: float) -> float:
-        """Exponential inter-arrival time at the current schedule rate."""
-        rate_per_s = self.schedule.rate_at(now_s) / 60.0
-        return self._rng.expovariate(rate_per_s)
+        """Inter-arrival time under the (piecewise-constant) schedule.
+
+        Exact non-homogeneous Poisson sampling: draw an exponential gap at
+        the rate in effect now; if it crosses the next ``RateSchedule``
+        step, discard the portion past the boundary and redraw from the
+        boundary at the new rate (valid by memorylessness).  A gap spanning
+        a step therefore feels the new rate from the instant of the step —
+        previously the whole gap was drawn at the old rate, so Fig. 8's
+        40 → 80 step took effect one arrival late.
+
+        On a constant schedule this makes exactly one draw, leaving the rng
+        stream — and every flat-Poisson experiment — byte-identical to the
+        pre-fix behaviour.
+        """
+        t = now_s
+        elapsed = 0.0
+        while True:
+            rate_per_s = self.schedule.rate_at(t) / 60.0
+            gap = self._rng.expovariate(rate_per_s)
+            boundary = self.schedule.next_change_after(t)
+            if boundary is None or t + gap <= boundary:
+                # return elapsed + gap, not (t + gap) - now_s: the single-draw
+                # case must return the raw draw bit-for-bit
+                return elapsed + gap
+            elapsed += boundary - t
+            t = boundary
 
     # -- request construction ----------------------------------------------------
 
@@ -228,11 +280,24 @@ class RecordingWorkload:
     measured under representative conditions.  Wrap the live generator in
     this recorder, then hand :meth:`trace_since` to a
     :class:`ReplayWorkload`.
+
+    Arrivals are monotone, so :meth:`trace_since` bisects on arrival time
+    instead of re-scanning the whole history; an optional ``retention_s``
+    horizon drops records older than ``newest_arrival - retention_s`` so
+    long runs hold one sampling period's worth of trace, not the whole
+    run's.
     """
 
-    def __init__(self, inner: WorkloadGenerator) -> None:
+    def __init__(
+        self, inner: WorkloadSource, retention_s: Optional[float] = None
+    ) -> None:
+        if retention_s is not None and retention_s <= 0.0:
+            raise ValueError(f"retention must be positive: {retention_s}")
         self.inner = inner
-        self._trace: list = []
+        self.retention_s = retention_s
+        self._trace: List[StreamRequest] = []
+        # parallel arrival-time list for bisecting (arrivals are monotone)
+        self._times: List[float] = []
 
     def next_interarrival(self, now_s: float) -> float:
         return self.inner.next_interarrival(now_s)
@@ -240,7 +305,17 @@ class RecordingWorkload:
     def make_request(self, arrival_time: float) -> StreamRequest:
         request = self.inner.make_request(arrival_time)
         self._trace.append(request)
+        self._times.append(request.arrival_time)
+        if self.retention_s is not None:
+            cutoff = request.arrival_time - self.retention_s
+            drop = bisect_left(self._times, cutoff)
+            if drop > 0:
+                del self._trace[:drop]
+                del self._times[:drop]
         return request
+
+    def __len__(self) -> int:
+        return len(self._trace)
 
     @property
     def trace(self) -> Tuple[StreamRequest, ...]:
@@ -249,11 +324,8 @@ class RecordingWorkload:
     def trace_since(self, start_time_s: float) -> Tuple[StreamRequest, ...]:
         """Requests that arrived at or after ``start_time_s`` (one sampling
         period's worth, typically)."""
-        return tuple(
-            request
-            for request in self._trace
-            if request.arrival_time >= start_time_s
-        )
+        index = bisect_left(self._times, start_time_s)
+        return tuple(self._trace[index:])
 
 
 class ReplayWorkload:

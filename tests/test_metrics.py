@@ -2,10 +2,19 @@
 
 import pytest
 
-from repro.simulation.metrics import MetricsCollector, RequestRecord
+from repro.simulation.metrics import MetricsCollector, RequestRecord, percentile
 
 
-def record(request_id, success, probes=10, setup=3, t=0.0, reason=None, phi=None):
+def record(
+    request_id,
+    success,
+    probes=10,
+    setup=3,
+    t=0.0,
+    reason=None,
+    phi=None,
+    latency=None,
+):
     return RequestRecord(
         request_id=request_id,
         arrival_time=t,
@@ -15,6 +24,7 @@ def record(request_id, success, probes=10, setup=3, t=0.0, reason=None, phi=None
         explored=probes,
         phi=phi,
         failure_reason=reason,
+        setup_latency_ms=latency,
     )
 
 
@@ -70,6 +80,122 @@ class TestWindows:
         collector = MetricsCollector()
         sample = collector.close_window(300.0, probing_ratio=0.3)
         assert sample.probing_ratio == 0.3
+
+    def test_boundary_request_counted_in_exactly_one_window(self):
+        """A request recorded just before a window close belongs to that
+        window and never to the next — records are flushed at close."""
+        collector = MetricsCollector()
+        collector.record(record(0, True, t=300.0))  # exactly on the boundary
+        first = collector.close_window(300.0)
+        second = collector.close_window(600.0)
+        assert first.requests == 1
+        assert second.requests == 0
+        assert first.requests + second.requests == 1
+
+
+class TestSLOSeries:
+    def test_window_latency_percentiles(self):
+        collector = MetricsCollector()
+        for i, latency in enumerate([10.0, 20.0, 30.0, 40.0]):
+            collector.record(record(i, True, latency=latency))
+        sample = collector.close_window(300.0)
+        assert sample.p50_setup_latency_ms == 20.0
+        assert sample.p99_setup_latency_ms == 40.0
+
+    def test_failed_requests_excluded_from_latency(self):
+        collector = MetricsCollector()
+        collector.record(record(0, True, latency=10.0))
+        collector.record(record(1, False, reason="no_candidates"))
+        sample = collector.close_window(300.0)
+        assert sample.p50_setup_latency_ms == 10.0
+
+    def test_admission_pressure_counts_contention_only(self):
+        collector = MetricsCollector()
+        collector.record(record(0, False, reason="probes_dropped"))
+        collector.record(record(1, False, reason="admission_race"))
+        collector.record(record(2, False, reason="no_candidates"))  # infeasible
+        collector.record(record(3, True, latency=5.0))
+        sample = collector.close_window(300.0)
+        assert sample.admission_pressure == pytest.approx(0.5)
+
+    def test_empty_window_does_not_carry_slo_series(self):
+        """success_rate carries over an idle window (legacy Fig. 8
+        behaviour) but the new SLO fields must reset: 0 requests, None
+        percentiles, 0 pressure — never the previous window's values."""
+        collector = MetricsCollector()
+        collector.record(record(0, True, latency=50.0))
+        collector.record(record(1, False, reason="probes_dropped"))
+        busy = collector.close_window(300.0)
+        assert busy.p50_setup_latency_ms == 50.0
+        assert busy.admission_pressure == pytest.approx(0.5)
+        idle = collector.close_window(600.0)
+        assert idle.success_rate == busy.success_rate  # legacy carry holds
+        assert idle.requests == 0
+        assert idle.p50_setup_latency_ms is None
+        assert idle.p99_setup_latency_ms is None
+        assert idle.admission_pressure == 0.0
+
+    def test_gauges_recorded_per_window(self):
+        collector = MetricsCollector()
+        sample = collector.close_window(
+            300.0, open_sessions=12, transient_reservations=3
+        )
+        assert sample.open_sessions == 12
+        assert sample.transient_reservations == 3
+        bare = collector.close_window(600.0)
+        assert bare.open_sessions is None
+        assert bare.transient_reservations is None
+
+    def test_report_level_slo_summaries(self):
+        collector = MetricsCollector()
+        collector.record(record(0, True, latency=10.0))
+        collector.record(record(1, True, latency=30.0))
+        collector.record(record(2, False, reason="admission_race"))
+        collector.close_window(300.0, open_sessions=5, transient_reservations=2)
+        collector.record(record(3, False, reason="no_candidates"))
+        collector.close_window(600.0, open_sessions=9, transient_reservations=0)
+        report = collector.build_report("ACP", 600.0)
+        assert report.p50_setup_latency_ms == 10.0
+        assert report.p99_setup_latency_ms == 30.0
+        assert report.admission_pressure == pytest.approx(0.25)
+        assert report.peak_open_sessions == 9
+        assert report.peak_transient_reservations == 2
+
+    def test_report_slo_defaults_without_latency(self):
+        collector = MetricsCollector()
+        collector.record(record(0, True))
+        report = collector.build_report("ACP", 60.0)
+        assert report.p50_setup_latency_ms is None
+        assert report.p99_setup_latency_ms is None
+        assert report.admission_pressure == 0.0
+        assert report.peak_open_sessions == 0
+
+
+class TestPercentile:
+    def test_empty_is_none(self):
+        assert percentile([], 0.5) is None
+
+    def test_nearest_rank_single(self):
+        assert percentile([42.0], 0.5) == 42.0
+        assert percentile([42.0], 0.99) == 42.0
+
+    def test_nearest_rank_is_an_observed_value(self):
+        values = [5.0, 1.0, 3.0, 2.0, 4.0]
+        for q in (0.0, 0.25, 0.5, 0.75, 0.99, 1.0):
+            assert percentile(values, q) in values
+
+    def test_median_and_tail(self):
+        values = list(map(float, range(1, 101)))
+        assert percentile(values, 0.50) == 50.0
+        assert percentile(values, 0.99) == 99.0
+        assert percentile(values, 1.0) == 100.0
+
+    def test_unsorted_input(self):
+        assert percentile([9.0, 1.0, 5.0], 0.5) == 5.0
+
+    def test_invalid_quantile(self):
+        with pytest.raises(ValueError, match="quantile"):
+            percentile([1.0], 1.5)
 
 
 class TestReport:

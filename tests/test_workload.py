@@ -51,8 +51,110 @@ class TestRateSchedule:
             RateSchedule.steps((0.0, 0.0))
 
     def test_sorted_segments(self):
-        with pytest.raises(ValueError, match="non-decreasing"):
+        with pytest.raises(ValueError, match="strictly increasing"):
             RateSchedule.steps((0.0, 10.0), (50.0, 20.0), (25.0, 30.0))
+
+    def test_duplicate_starts_rejected(self):
+        # a duplicate start silently shadowed the earlier rate before the
+        # strict validation; now it is a hard error
+        with pytest.raises(ValueError, match="strictly increasing"):
+            RateSchedule.steps((0.0, 10.0), (50.0, 20.0), (50.0, 30.0))
+
+    def test_next_change_after(self):
+        schedule = RateSchedule.steps((0.0, 40.0), (100.0, 80.0), (200.0, 60.0))
+        assert schedule.next_change_after(0.0) == 100.0
+        assert schedule.next_change_after(99.9) == 100.0
+        assert schedule.next_change_after(100.0) == 200.0
+        assert schedule.next_change_after(200.0) is None
+        assert schedule.next_change_after(1e9) is None
+        assert RateSchedule.constant(40.0).next_change_after(0.0) is None
+
+    def test_rate_at_matches_naive_scan(self):
+        """Property: the bisect lookup equals the linear scan it replaced."""
+        from hypothesis import given, strategies as st
+
+        @given(
+            starts=st.lists(
+                st.floats(min_value=0.1, max_value=1e5, allow_nan=False),
+                min_size=0,
+                max_size=8,
+                unique=True,
+            ),
+            rates=st.lists(
+                st.floats(min_value=0.1, max_value=1e4, allow_nan=False),
+                min_size=9,
+                max_size=9,
+            ),
+            queries=st.lists(
+                st.floats(min_value=-10.0, max_value=2e5, allow_nan=False),
+                min_size=1,
+                max_size=20,
+            ),
+        )
+        def check(starts, rates, queries):
+            times = [0.0] + sorted(starts)
+            segments = tuple(zip(times, rates))
+            schedule = RateSchedule(segments)
+            for q in queries:
+                naive = segments[0][1]
+                for start, rate in segments:
+                    if q >= start:
+                        naive = rate
+                    else:
+                        break
+                assert schedule.rate_at(q) == naive
+
+        check()
+
+
+class TestRateStepRegression:
+    """The interarrival fix: arrivals immediately after a schedule step
+    must occur at the *new* rate (boundary-truncated redraw).  Both tests
+    fail on the pre-fix code, which drew the whole gap at the old rate."""
+
+    def _arrivals(self, templates, schedule, horizon, seed=0):
+        gen = WorkloadGenerator(templates, schedule, seed=seed)
+        times, now = [], 0.0
+        while True:
+            now += gen.next_interarrival(now)
+            if now > horizon:
+                return times
+            times.append(now)
+
+    def test_arrival_count_just_after_step_up(self, templates):
+        # 1 req/min until t=50, then 6000 req/min (100 req/s).  The gap in
+        # flight at t=50 spans the step; pre-fix it kept the 1 req/min rate
+        # (mean 60 s), so the window (50, 60] saw ~0 arrivals instead of
+        # ~1000.
+        schedule = RateSchedule.steps((0.0, 1.0), (50.0, 6000.0))
+        times = self._arrivals(templates, schedule, horizon=60.0, seed=21)
+        after_step = [t for t in times if 50.0 < t <= 60.0]
+        assert len(after_step) > 500
+
+    def test_gap_spanning_step_down_feels_new_rate(self, templates):
+        # 60 req/min until t=10, then 0.006 req/min (mean gap ~1e4 s).  The
+        # first arrival past the boundary must land far beyond it; pre-fix
+        # it arrived within a few seconds, still at the old rate.
+        schedule = RateSchedule.steps((0.0, 60.0), (10.0, 0.006))
+        gen = WorkloadGenerator(templates, schedule, seed=22)
+        now = 0.0
+        while now <= 10.0:
+            now += gen.next_interarrival(now)
+        assert now > 100.0
+
+    def test_flat_schedule_stream_unchanged(self, templates):
+        """On a constant schedule the fix makes exactly one rng draw, so
+        the arrival stream is byte-identical to a direct expovariate
+        sequence — flat-Poisson experiments replay unchanged."""
+        import random as _random
+
+        gen = WorkloadGenerator(templates, RateSchedule.constant(60.0), seed=23)
+        reference = _random.Random(23)
+        now = 0.0
+        for _ in range(200):
+            gap = gen.next_interarrival(now)
+            assert gap == reference.expovariate(1.0)
+            now += gap
 
 
 class TestArrivals:
@@ -232,6 +334,54 @@ class TestTraceReplay:
 
         with pytest.raises(ValueError, match="empty"):
             ReplayWorkload([])
+
+    def test_trace_since_bisect_matches_scan(self, templates):
+        from repro.simulation.workload import RecordingWorkload
+
+        recorder = RecordingWorkload(generator(templates, seed=15))
+        now = 0.0
+        for _ in range(50):
+            now += recorder.next_interarrival(now)
+            recorder.make_request(now)
+        for cutoff in (0.0, recorder.trace[10].arrival_time, now, now + 1.0):
+            expected = tuple(
+                r for r in recorder.trace if r.arrival_time >= cutoff
+            )
+            assert recorder.trace_since(cutoff) == expected
+
+    def test_retention_bounds_memory(self, templates):
+        """With a retention horizon the trace holds one period's worth of
+        requests, not the whole run's (the unbounded-growth bug)."""
+        from repro.simulation.workload import RecordingWorkload
+
+        retention = 30.0
+        recorder = RecordingWorkload(
+            generator(templates, rate=60.0, seed=16), retention_s=retention
+        )
+        now = 0.0
+        peak = 0
+        for _ in range(2000):
+            now += recorder.next_interarrival(now)
+            recorder.make_request(now)
+            peak = max(peak, len(recorder))
+        # 60 req/min over a 30 s horizon is ~30 requests; the bound allows
+        # generous Poisson fluctuation but is far below the 2000 generated
+        assert peak < 200
+        newest = recorder.trace[-1].arrival_time
+        assert all(
+            r.arrival_time >= newest - retention for r in recorder.trace
+        )
+        # retained tail still serves trace_since correctly
+        cutoff = recorder.trace[len(recorder.trace) // 2].arrival_time
+        assert all(
+            r.arrival_time >= cutoff for r in recorder.trace_since(cutoff)
+        )
+
+    def test_retention_must_be_positive(self, templates):
+        from repro.simulation.workload import RecordingWorkload
+
+        with pytest.raises(ValueError, match="positive"):
+            RecordingWorkload(generator(templates, seed=17), retention_s=0.0)
 
     def test_replay_drives_simulator(self):
         """A recorded trace replayed through a fresh copy of the same
