@@ -3,10 +3,22 @@
 
 PYTEST := PYTHONPATH=src python -m pytest
 
-.PHONY: test lint bench bench-micro bench-macro bench-faults bench-scale bench-scale-smoke bench-population bench-population-smoke trace-demo
+.PHONY: test lint check docs-seeds bench bench-micro bench-macro bench-faults bench-scale bench-scale-smoke bench-population bench-population-smoke trace-demo
 
 test:
 	$(PYTEST) -x -q tests
+
+# The aggregate PR gate: static analysis (repro-lint always; mypy/ruff
+# when installed) then the tier-1 suite.  One command == what CI enforces.
+check: lint test
+
+# Regenerate the DEVELOPMENT.md seed-slot table from
+# repro.analysis.seeds.REGISTRY (the doc-drift test fails when they
+# diverge; run this after claiming a new slot).
+docs-seeds:
+	PYTHONPATH=src python -c "from repro.analysis.docs import sync_seed_table; \
+		changed = sync_seed_table('DEVELOPMENT.md'); \
+		print('DEVELOPMENT.md seed-slot table ' + ('updated' if changed else 'already in sync'))"
 
 # Static analysis gate (see DEVELOPMENT.md).  repro-lint (the in-tree
 # determinism/layering/recorder-discipline checker) always runs; mypy and

@@ -1,33 +1,47 @@
-"""File walking, per-file dispatch, suppression filtering.
+"""File walking, the analysis context, rule dispatch, suppression filtering.
 
 :func:`lint_paths` is the single entry point both the CLI and the
 self-tests use.  Given files and/or directories it:
 
 1. collects ``*.py`` files (sorted, so output order is deterministic —
    the linter holds itself to its own rules);
-2. parses each file once and runs the per-file rule families
-   (determinism, recorder discipline);
-3. derives each file's dotted module name relative to ``src_root`` and
-   feeds the cross-file import edges to the layering check;
+2. parses each file once into a :class:`~repro.analysis.context.ModuleInfo`
+   and runs the per-file rule families (determinism, recorder
+   discipline);
+3. assembles the parsed modules into one
+   :class:`~repro.analysis.context.AnalysisContext` and runs the
+   whole-program families: layering, RNG provenance (DET15x), shard
+   safety (SHR4xx), hot-path budgets (HOT5xx);
 4. filters everything through ``# repro-lint: disable=...`` line
    suppressions.
 
-Module names matter: the wall-clock allowlist, hot-path matching, and
-the layer DAG are all keyed on ``repro.<package>...`` names, so a file
-outside ``src_root`` (or with no ``src_root`` given) gets only the
-location-independent determinism checks.
+Module names matter: the wall-clock allowlist, hot-path matching, the
+layer DAG, and the seed registry are all keyed on ``repro.<package>...``
+names, so a file outside ``src_root`` (or with no ``src_root`` given)
+gets only the location-independent determinism checks.
+
+A rule pass that *crashes* is reported, not swallowed: the exception is
+recorded on :attr:`LintResult.internal_errors` and the CLI exits 2, so
+CI can never mistake a broken linter for a clean tree.
 """
 
 from __future__ import annotations
 
 import ast
+import json
 import os
+import traceback
 from dataclasses import dataclass, field
-from typing import Iterable, List, Optional, Sequence
+from typing import Callable, Dict, FrozenSet, Iterable, List, Optional, Sequence, Set
 
+from repro.analysis.context import AnalysisContext, ModuleInfo
 from repro.analysis.determinism import check_determinism
+from repro.analysis.hotpath import check_hot_paths
 from repro.analysis.layering import ImportEdge, check_layering, collect_import_edges
 from repro.analysis.recorder_discipline import check_recorder_discipline
+from repro.analysis.rngflow import check_rngflow
+from repro.analysis.seeds import REGISTRY, SeedSlot
+from repro.analysis.shard_safety import check_shard_safety
 from repro.analysis.violations import (
     Violation,
     apply_suppressions,
@@ -41,18 +55,50 @@ class LintResult:
 
     violations: List[Violation] = field(default_factory=list)
     files_checked: int = 0
+    #: rule passes that crashed ("family: exception"); non-empty means
+    #: the run is unreliable and the CLI exits 2
+    internal_errors: List[str] = field(default_factory=list)
 
     @property
     def ok(self) -> bool:
-        return not self.violations
+        return not self.violations and not self.internal_errors
 
     def formatted(self) -> str:
         return "\n".join(v.format() for v in sorted(self.violations))
 
+    def formatted_json(self) -> str:
+        """Machine-readable report (``--format json``)."""
+        return json.dumps(
+            {
+                "clean": self.ok,
+                "files_checked": self.files_checked,
+                "violations": [
+                    {
+                        "path": v.path,
+                        "line": v.line,
+                        "col": v.col,
+                        "code": v.code,
+                        "message": v.message,
+                    }
+                    for v in sorted(self.violations)
+                ],
+                "internal_errors": list(self.internal_errors),
+            },
+            indent=2,
+        )
+
+    def formatted_github(self) -> str:
+        """GitHub workflow-command annotations (``--format github``)."""
+        return "\n".join(
+            f"::error file={v.path},line={v.line},col={v.col},"
+            f"title={v.code}::{v.message}"
+            for v in sorted(self.violations)
+        )
+
 
 def iter_python_files(paths: Sequence[str]) -> List[str]:
     """Expand files/directories into a sorted, de-duplicated file list."""
-    found = set()
+    found: Set[str] = set()
     for path in paths:
         if os.path.isdir(path):
             for dirpath, dirnames, filenames in os.walk(path):
@@ -83,11 +129,30 @@ def module_name(path: str, src_root: Optional[str]) -> Optional[str]:
 
 
 def lint_paths(
-    paths: Iterable[str], src_root: Optional[str] = None
+    paths: Iterable[str],
+    src_root: Optional[str] = None,
+    seed_registry: Optional[Sequence[SeedSlot]] = None,
 ) -> LintResult:
-    """Lint every ``*.py`` under ``paths``; see the module docstring."""
+    """Lint every ``*.py`` under ``paths``; see the module docstring.
+
+    ``seed_registry`` overrides the shipped seed-slot registry for the
+    RNG-provenance pass — the fixture tests declare slots for fixture
+    modules this way; production runs use the default.
+    """
     result = LintResult()
+    modules: List[ModuleInfo] = []
+    suppressions_by_path: Dict[str, Dict[int, FrozenSet[str]]] = {}
     edges: List[ImportEdge] = []
+
+    def run_family(family: str, check: Callable[[], List[Violation]]) -> List[Violation]:
+        try:
+            return check()
+        except Exception:
+            result.internal_errors.append(
+                f"{family} crashed: {traceback.format_exc(limit=3).strip()}"
+            )
+            return []
+
     for path in iter_python_files(list(paths)):
         result.files_checked += 1
         try:
@@ -101,27 +166,57 @@ def lint_paths(
             )
             continue
         module = module_name(path, src_root)
-        file_violations = check_determinism(path, tree, module)
-        file_violations += check_recorder_discipline(path, tree, module)
+        suppressions = parse_suppressions(source)
+        suppressions_by_path[path] = suppressions
+        file_violations = run_family(
+            "determinism", lambda: check_determinism(path, tree, module)
+        )
+        file_violations += run_family(
+            "recorder-discipline",
+            lambda: check_recorder_discipline(path, tree, module),
+        )
         if module is not None:
             edges.extend(collect_import_edges(path, tree, module))
+            modules.append(
+                ModuleInfo(
+                    path=path,
+                    module=module,
+                    tree=tree,
+                    source=source,
+                    suppressions=suppressions,
+                )
+            )
         result.violations.extend(
-            apply_suppressions(file_violations, parse_suppressions(source))
+            apply_suppressions(file_violations, suppressions)
         )
 
-    layering = check_layering(edges)
-    if layering:
-        # layer violations honour suppressions on their import lines too
-        by_path: dict = {}
-        for violation in layering:
-            by_path.setdefault(violation.path, []).append(violation)
-        for path, group in by_path.items():
+    # -- whole-program passes over the shared context ------------------------
+
+    program: List[Violation] = []
+    program += run_family("layering", lambda: check_layering(edges))
+    if modules:
+        context = AnalysisContext(modules)
+        registry = tuple(seed_registry) if seed_registry is not None else REGISTRY
+        program += run_family(
+            "rng-provenance", lambda: check_rngflow(context, registry)
+        )
+        program += run_family(
+            "shard-safety", lambda: check_shard_safety(context)
+        )
+        program += run_family("hot-path", lambda: check_hot_paths(context))
+
+    by_path: Dict[str, List[Violation]] = {}
+    for violation in program:
+        by_path.setdefault(violation.path, []).append(violation)
+    for path, group in by_path.items():
+        suppressions = suppressions_by_path.get(path)
+        if suppressions is None:
             try:
                 with open(path, "r", encoding="utf-8") as handle:
                     suppressions = parse_suppressions(handle.read())
             except OSError:
                 suppressions = {}
-            result.violations.extend(apply_suppressions(group, suppressions))
+        result.violations.extend(apply_suppressions(group, suppressions))
 
     result.violations.sort()
     return result

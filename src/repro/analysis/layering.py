@@ -35,7 +35,7 @@ code        what it flags
 from __future__ import annotations
 
 import ast
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, FrozenSet, List, Optional, Set, Tuple
 
 from repro.analysis.violations import Violation
 
@@ -193,7 +193,7 @@ def _cycle_violations(edges: List[ImportEdge]) -> List[Violation]:
         graph.setdefault(edge.source, {}).setdefault(edge.target, edge)
 
     violations: List[Violation] = []
-    reported: set = set()
+    reported: Set[FrozenSet[str]] = set()
     state: Dict[str, int] = {}  # 0 absent, 1 on stack, 2 done
     stack: List[str] = []
 

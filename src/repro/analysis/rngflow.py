@@ -1,0 +1,515 @@
+"""RNG-stream provenance rules: derivations declared, flows honoured.
+
+The determinism contract keys every subsystem's randomness to a declared
+seed slot (``repro.analysis.seeds``).  This pass proves the code matches
+the declaration:
+
+==========  =============================================================
+code        what it flags
+==========  =============================================================
+``DET150``  a seed derivation (``Random(seed + k)``, ``seed=spec.seed*7+1``
+            — any affine arithmetic over a seed-named value) with no
+            matching slot in the registry.  Claim a slot first; the
+            registry is the single source of truth for offsets.
+``DET151``  a derivation whose slot collides with another slot — both
+            resolve to the same absolute stream off the same root, so two
+            subsystems would consume identical random sequences.
+``DET152``  an RNG constructed from a declared slot flowing (as a call
+            argument, through the static call graph) into a module
+            outside the slot's declared consumer — the stream escapes
+            its owning subsystem.
+``DET153``  RNG draws interleaved across a config-flag-dependent branch:
+            a draw inside ``if <config/spec/plan...>:`` followed by more
+            draws from the *same* stream after the branch.  Toggling the
+            flag shifts every later draw — give the branch its own slot.
+==========  =============================================================
+
+Pass-through constructions (``Random(seed)``, ``Random(0)``) are not
+derivations and need no slot; the registry tracks *stream splits*, which
+is where two-subsystem collisions come from.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.analysis.context import AnalysisContext, ClassInfo, ModuleInfo
+from repro.analysis.seeds import (
+    REGISTRY,
+    SeedSlot,
+    absolute_derivation,
+    render_derivation,
+)
+from repro.analysis.violations import Violation
+
+#: draw methods that advance an RNG stream (random.Random + numpy
+#: Generator vocabulary, minus state inspection)
+DRAW_METHODS = frozenset(
+    {
+        "betavariate", "choice", "choices", "expovariate", "gammavariate",
+        "gauss", "getrandbits", "lognormvariate", "normalvariate",
+        "paretovariate", "randbytes", "randint", "random", "randrange",
+        "sample", "shuffle", "triangular", "uniform", "vonmisesvariate",
+        "weibullvariate", "integers", "normal", "poisson", "exponential",
+        "standard_normal", "permutation",
+    }
+)
+
+#: names whose attributes read like run configuration — branching on
+#: these while drawing makes draw order depend on the flag
+_CONFIG_OWNERS = frozenset(
+    {"config", "spec", "plan", "options", "settings", "flags", "faults"}
+)
+_CONFIG_ATTR_PREFIXES = ("enable", "use_", "with_", "injects_")
+
+#: modules the provenance pass skips (the tool package mentions seed
+#: arithmetic as data/patterns, not as streams)
+_EXCLUDED_PREFIX = "repro.analysis"
+
+Affine = Tuple[str, int, int]  # (symbol, multiplier, offset)
+
+
+def _as_int(node: ast.expr) -> Optional[int]:
+    if isinstance(node, ast.Constant) and isinstance(node.value, int):
+        return node.value
+    return None
+
+
+def seed_affine(node: ast.expr) -> Optional[Affine]:
+    """Parse ``expr`` as ``multiplier * <seed symbol> + offset``, or None.
+
+    The symbol is any name/attribute whose terminal identifier contains
+    ``seed`` (``spec.workload_seed`` → ``workload_seed``).  Expressions
+    combining two seed symbols, or non-affine arithmetic, return None.
+    """
+    if isinstance(node, ast.Name):
+        return (node.id, 1, 0) if "seed" in node.id.lower() else None
+    if isinstance(node, ast.Attribute):
+        return (node.attr, 1, 0) if "seed" in node.attr.lower() else None
+    if isinstance(node, ast.BinOp):
+        left, right = seed_affine(node.left), seed_affine(node.right)
+        if isinstance(node.op, ast.Add):
+            if left is not None and right is None:
+                constant = _as_int(node.right)
+                if constant is not None:
+                    return (left[0], left[1], left[2] + constant)
+            elif right is not None and left is None:
+                constant = _as_int(node.left)
+                if constant is not None:
+                    return (right[0], right[1], right[2] + constant)
+        elif isinstance(node.op, ast.Sub) and left is not None and right is None:
+            constant = _as_int(node.right)
+            if constant is not None:
+                return (left[0], left[1], left[2] - constant)
+        elif isinstance(node.op, ast.Mult):
+            affine, const_node = (left, node.right) if left is not None else (
+                right,
+                node.left,
+            )
+            if affine is not None:
+                constant = _as_int(const_node)
+                if constant is not None:
+                    return (affine[0], affine[1] * constant, affine[2] * constant)
+    return None
+
+
+def _is_rng_constructor(call: ast.Call) -> bool:
+    """``random.Random(...)`` / ``Random(...)`` / ``default_rng(...)``."""
+    func = call.func
+    if isinstance(func, ast.Name):
+        return func.id in {"Random", "default_rng"}
+    if isinstance(func, ast.Attribute):
+        return func.attr in {"Random", "default_rng"}
+    return False
+
+
+class _Site:
+    """One detected seed derivation."""
+
+    __slots__ = ("node", "affine", "construction", "module_info")
+
+    def __init__(
+        self,
+        node: ast.expr,
+        affine: Affine,
+        construction: Optional[ast.Call],
+        module_info: ModuleInfo,
+    ) -> None:
+        self.node = node
+        self.affine = affine
+        #: the Random()/default_rng() call, when the derivation seeds one
+        self.construction = construction
+        self.module_info = module_info
+
+
+class RngFlowChecker:
+    """Runs DET150–DET153 over the whole program."""
+
+    def __init__(
+        self,
+        context: AnalysisContext,
+        registry: Sequence[SeedSlot] = REGISTRY,
+    ) -> None:
+        self.context = context
+        self.registry = tuple(registry)
+        self.by_name = {slot.name: slot for slot in self.registry}
+        self.violations: List[Violation] = []
+        self._colliding = self._collision_slots()
+
+    def _collision_slots(self) -> Set[str]:
+        absolute: Dict[Tuple[str, int, int], List[str]] = {}
+        for slot in self.registry:
+            try:
+                key = absolute_derivation(slot, self.by_name)
+            except ValueError:
+                continue
+            absolute.setdefault(key, []).append(slot.name)
+        return {
+            name
+            for names in absolute.values()
+            if len(names) > 1
+            for name in names
+        }
+
+    def run(self) -> List[Violation]:
+        for info in self.context.modules.values():
+            if info.module.startswith(_EXCLUDED_PREFIX):
+                continue
+            self._check_module(info)
+        return self.violations
+
+    def _emit(
+        self, info: ModuleInfo, node: ast.AST, code: str, message: str
+    ) -> None:
+        self.violations.append(
+            Violation(
+                info.path, node.lineno, node.col_offset + 1, code, message
+            )
+        )
+
+    # -- DET150/DET151: derivation sites ------------------------------------
+
+    def _check_module(self, info: ModuleInfo) -> None:
+        sites = self._collect_sites(info)
+        for site in sites:
+            slot = self._match(info, site)
+            if slot is None:
+                symbol, multiplier, offset = site.affine
+                self._emit(
+                    info,
+                    site.node,
+                    "DET150",
+                    f"undeclared seed derivation "
+                    f"{render_derivation(symbol, multiplier, offset)} — claim "
+                    "a slot in repro.analysis.seeds.REGISTRY before splitting "
+                    "a stream (the registry is the offset map)",
+                )
+                continue
+            if slot.name in self._colliding:
+                root, multiplier, offset = absolute_derivation(
+                    slot, self.by_name
+                )
+                self._emit(
+                    info,
+                    site.node,
+                    "DET151",
+                    f"slot '{slot.name}' collides with another declared slot "
+                    f"at absolute stream "
+                    f"{render_derivation(root, multiplier, offset)} — two "
+                    "subsystems would draw identical sequences",
+                )
+            if site.construction is not None:
+                self._check_flow(info, site, slot)
+        self._check_branch_interleaving(info)
+
+    def _collect_sites(self, info: ModuleInfo) -> List[_Site]:
+        sites: List[_Site] = []
+        seen: Set[int] = set()
+        for node in ast.walk(info.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            if _is_rng_constructor(node) and node.args:
+                affine = seed_affine(node.args[0])
+                if affine is not None and affine[1:] != (1, 0):
+                    seen.add(id(node.args[0]))
+                    sites.append(_Site(node.args[0], affine, node, info))
+            for keyword in node.keywords:
+                if keyword.arg is None or id(keyword.value) in seen:
+                    continue
+                name = keyword.arg.lower()
+                if name != "seed" and not name.endswith("_seed"):
+                    continue
+                affine = seed_affine(keyword.value)
+                if affine is not None and affine[1:] != (1, 0):
+                    sites.append(_Site(keyword.value, affine, None, info))
+        return sites
+
+    def _match(self, info: ModuleInfo, site: _Site) -> Optional[SeedSlot]:
+        symbol, multiplier, offset = site.affine
+        for slot in self.registry:
+            if (
+                slot.module == info.module
+                and slot.symbol == symbol
+                and slot.multiplier == multiplier
+                and slot.offset == offset
+            ):
+                return slot
+        return None
+
+    # -- DET152: stream escape ----------------------------------------------
+
+    def _check_flow(
+        self, info: ModuleInfo, site: _Site, slot: SeedSlot
+    ) -> None:
+        """Does the constructed RNG flow into the declared consumer?"""
+        assert site.construction is not None
+        function, current_class = _enclosing_function(
+            info.tree, site.construction, info.module
+        )
+        param_classes = (
+            self.context.param_classes_for(info, function)
+            if function is not None
+            else {}
+        )
+        targets: List[Tuple[str, ast.AST]] = []
+        enclosing_call = _enclosing_call(info.tree, site.construction)
+        if enclosing_call is not None:
+            resolved = self.context.resolve_call(
+                info, enclosing_call, current_class, param_classes
+            )
+            if resolved is not None:
+                targets.append((resolved[0], enclosing_call))
+        name = _assigned_name(info.tree, site.construction)
+        if name is not None and function is not None:
+            for call in ast.walk(function):
+                if isinstance(call, ast.Call) and _passes_name(call, name):
+                    resolved = self.context.resolve_call(
+                        info, call, current_class, param_classes
+                    )
+                    if resolved is not None:
+                        targets.append((resolved[0], call))
+        for target_module, at in targets:
+            if target_module == info.module:
+                continue
+            if target_module == slot.consumer or target_module.startswith(
+                slot.consumer + "."
+            ):
+                continue
+            self._emit(
+                info,
+                at,
+                "DET152",
+                f"stream of slot '{slot.name}' ({slot.subsystem}) flows into "
+                f"{target_module}, outside its declared consumer "
+                f"{slot.consumer} — route it through a declared slot or fix "
+                "the registry",
+            )
+
+    # -- DET153: config-dependent draw interleaving ---------------------------
+
+    def _check_branch_interleaving(self, info: ModuleInfo) -> None:
+        for node in ast.walk(info.tree):
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                self._check_function_branches(info, node)
+
+    def _check_function_branches(
+        self, info: ModuleInfo, function: ast.AST
+    ) -> None:
+        rng_names = _tracked_rngs(function)
+
+        def scan_block(block: List[ast.stmt]) -> None:
+            for index, statement in enumerate(block):
+                if (
+                    isinstance(statement, ast.If)
+                    and _config_dependent(statement.test)
+                ):
+                    branch_draws = _draws_in(statement, rng_names)
+                    if branch_draws:
+                        for later in block[index + 1 :]:
+                            for receiver, draw in _draws_in(later, rng_names):
+                                if receiver in {r for r, _ in branch_draws}:
+                                    self._emit(
+                                        info,
+                                        draw,
+                                        "DET153",
+                                        f"draw from '{receiver}' follows a "
+                                        "config-dependent branch (line "
+                                        f"{statement.lineno}) that also draws "
+                                        "from it — toggling the flag shifts "
+                                        "this stream; give the branch its own "
+                                        "seed slot",
+                                    )
+                for child_block in _child_blocks(statement):
+                    scan_block(child_block)
+
+        scan_block(list(getattr(function, "body", [])))
+
+
+# -- helpers -----------------------------------------------------------------
+
+
+def _child_blocks(statement: ast.stmt) -> List[List[ast.stmt]]:
+    blocks = []
+    for field in ("body", "orelse", "finalbody"):
+        block = getattr(statement, field, None)
+        if isinstance(block, list) and block and isinstance(
+            block[0], ast.stmt
+        ):
+            blocks.append(block)
+    for handler in getattr(statement, "handlers", []):
+        blocks.append(handler.body)
+    return blocks
+
+
+def _config_dependent(test: ast.expr) -> bool:
+    for node in ast.walk(test):
+        if isinstance(node, ast.Attribute):
+            if node.attr.startswith(_CONFIG_ATTR_PREFIXES):
+                return True
+            value = node.value
+            if isinstance(value, ast.Name) and value.id in _CONFIG_OWNERS:
+                return True
+            if isinstance(value, ast.Attribute) and value.attr in _CONFIG_OWNERS:
+                return True
+    return False
+
+
+def _receiver_key(node: ast.expr) -> Optional[str]:
+    if isinstance(node, ast.Name):
+        return node.id
+    if isinstance(node, ast.Attribute):
+        owner = _receiver_key(node.value)
+        return f"{owner}.{node.attr}" if owner is not None else None
+    return None
+
+
+def _tracked_rngs(function: ast.AST) -> Set[str]:
+    """Receivers that definitely hold RNGs in this function: names
+    assigned from RNG constructors, plus anything whose terminal
+    identifier mentions rng/random."""
+    tracked: Set[str] = set()
+    for node in ast.walk(function):
+        if isinstance(node, ast.Assign) and isinstance(node.value, ast.Call):
+            if _is_rng_constructor(node.value):
+                for target in node.targets:
+                    key = _receiver_key(target)
+                    if key is not None:
+                        tracked.add(key)
+    return tracked
+
+
+def _is_rng_receiver(key: str, tracked: Set[str]) -> bool:
+    if key in tracked:
+        return True
+    terminal = key.rsplit(".", 1)[-1].lower()
+    return "rng" in terminal or terminal == "random"
+
+
+def _draws_in(
+    statement: ast.stmt, tracked: Set[str]
+) -> List[Tuple[str, ast.Call]]:
+    draws = []
+    for node in ast.walk(statement):
+        if (
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Attribute)
+            and node.func.attr in DRAW_METHODS
+        ):
+            key = _receiver_key(node.func.value)
+            if key is not None and _is_rng_receiver(key, tracked):
+                draws.append((key, node))
+    return draws
+
+
+def _enclosing_function(
+    tree: ast.Module, target: ast.AST, module: str
+) -> Tuple[Optional[ast.FunctionDef], Optional[ClassInfo]]:
+    """The function (and, if a method, a minimal ClassInfo) containing
+    ``target``."""
+    from repro.analysis.context import _build_class  # shared builder
+
+    path: List[ast.AST] = []
+
+    def walk(node: ast.AST) -> bool:
+        if node is target:
+            return True
+        for child in ast.iter_child_nodes(node):
+            path.append(child)
+            if walk(child):
+                return True
+            path.pop()
+        return False
+
+    if not walk(tree):
+        return None, None
+    function: Optional[ast.FunctionDef] = None
+    cls: Optional[ClassInfo] = None
+    for node in reversed(path):
+        if isinstance(node, ast.FunctionDef) and function is None:
+            function = node
+        elif isinstance(node, ast.ClassDef) and function is not None:
+            cls = _build_class(module, node)
+            break
+    return function, cls
+
+
+def _enclosing_call(tree: ast.Module, target: ast.Call) -> Optional[ast.Call]:
+    """The nearest call that receives ``target`` as (part of) an argument."""
+    parents: Dict[int, ast.AST] = {}
+    for parent in ast.walk(tree):
+        for child in ast.iter_child_nodes(parent):
+            parents[id(child)] = parent
+    node: ast.AST = target
+    while True:
+        parent = parents.get(id(node))
+        if parent is None or isinstance(parent, ast.stmt):
+            return None
+        if isinstance(parent, ast.Call) and parent is not target:
+            in_args = any(
+                node is argument or _contains(argument, node)
+                for argument in list(parent.args)
+                + [keyword.value for keyword in parent.keywords]
+            )
+            if in_args:
+                return parent
+        node = parent
+
+
+def _contains(root: ast.AST, target: ast.AST) -> bool:
+    return any(child is target for child in ast.walk(root))
+
+
+def _assigned_name(tree: ast.Module, construction: ast.Call) -> Optional[str]:
+    """The name bound to the RNG itself (``r = Random(s)``, including
+    through a fallback ``r = rng or Random(s)``) — NOT a name bound to a
+    value the construction merely flows into."""
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.Assign):
+            continue
+        value: ast.expr = node.value
+        candidates = (
+            list(value.values) if isinstance(value, ast.BoolOp) else [value]
+        )
+        if construction in candidates:
+            for target in node.targets:
+                if isinstance(target, ast.Name):
+                    return target.id
+    return None
+
+
+def _passes_name(call: ast.Call, name: str) -> bool:
+    for argument in call.args:
+        if isinstance(argument, ast.Name) and argument.id == name:
+            return True
+    for keyword in call.keywords:
+        if isinstance(keyword.value, ast.Name) and keyword.value.id == name:
+            return True
+    return False
+
+
+def check_rngflow(
+    context: AnalysisContext, registry: Sequence[SeedSlot] = REGISTRY
+) -> List[Violation]:
+    """All DET15x violations for one whole-program context."""
+    return RngFlowChecker(context, registry).run()

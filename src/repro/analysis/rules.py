@@ -22,6 +22,22 @@ ALL_RULES: Dict[str, str] = {
         "statically set-typed (or dict.keys()) expression feeding an "
         "ordering-sensitive sink without sorted(...)"
     ),
+    "DET150": (
+        "seed derivation (Random(seed + k) / seed=... arithmetic) with no "
+        "matching slot in repro.analysis.seeds.REGISTRY"
+    ),
+    "DET151": (
+        "seed derivation whose declared slot collides with another slot "
+        "at the same absolute stream (two subsystems, one sequence)"
+    ),
+    "DET152": (
+        "RNG from a declared slot flowing into a module outside the "
+        "slot's declared consumer (the stream escapes its subsystem)"
+    ),
+    "DET153": (
+        "RNG draws interleaved across a config-flag-dependent branch — "
+        "toggling the flag shifts every later draw from the stream"
+    ),
     "LAY201": (
         "upward or same-rank import against the declared layer DAG "
         "(including imports out of observability or into analysis)"
@@ -31,6 +47,43 @@ ALL_RULES: Dict[str, str] = {
     "REC301": (
         "recorder.emit/inc/observe/set_gauge call on a hot path "
         "(repro.core, repro.topology.routing) without an `.enabled` guard"
+    ),
+    "SHR401": (
+        "module-level mutable container in a runtime package — "
+        "process-global state that diverges per worker under sharding"
+    ),
+    "SHR402": (
+        "instance cache (self.*cache*/*memo*) on a bare dict instead of "
+        "repro.model.lru.LRUDict (the bounded-cache rule)"
+    ),
+    "SHR403": (
+        "add_*_listener registration in a class with no matching "
+        "remove_*_listener teardown (the PR 6 leak class)"
+    ),
+    "SHR404": (
+        "attribute write on an object owned by another subsystem, "
+        "bypassing the GlobalStateManager funnel"
+    ),
+    "HOT501": (
+        "list/tuple/sorted materialisation of an O(N)-shaped iterable "
+        "inside an @hot_path function or its callees"
+    ),
+    "HOT502": (
+        "dense square numpy allocation (np.zeros((n, n)) family) inside "
+        "an @hot_path function — O(N²) resident memory"
+    ),
+    "HOT503": (
+        "full .items()/.keys()/.values() scan of an instance map inside "
+        "an @hot_path function"
+    ),
+    "HOT504": (
+        "f-string allocation inside an @hot_path function outside a "
+        "recorder guard or raise"
+    ),
+    "HOT505": "print/logging call inside an @hot_path function",
+    "HOT506": (
+        "hot-path marker problem: a budget-table function missing "
+        "@hot_path, or a marker without an O(...) budget string"
     ),
     "PAR001": "file does not parse (reported so CI cannot skip broken files)",
 }

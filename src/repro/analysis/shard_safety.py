@@ -1,0 +1,276 @@
+"""Shard-safety rules: state that breaks under partitioned simulation.
+
+ROADMAP item 5 splits the simulator across workers (self-clustering
+partitioning à la D'Angelo, PAPERS.md).  Every finding here is a piece
+of state that is *already* a latent hazard — shared, unbounded, or
+mutated across an ownership boundary — and becomes a nondeterminism or
+leak bug the moment the tree is sharded.  Each message names the shard
+boundary the pattern would break.
+
+==========  =============================================================
+code        what it flags
+==========  =============================================================
+``SHR401``  a module-level mutable container (dict/list/set literal or
+            constructor) in a runtime package.  Module globals are
+            process-global: under sharding each worker mutates its own
+            silently-diverging copy.  Freeze it (tuple / frozenset /
+            ``MappingProxyType``) or move it into owned instance state.
+``SHR402``  an instance cache (``self.*cache*``/``self.*memo*``) built on
+            a bare dict instead of ``repro.model.lru.LRUDict`` — the
+            bounded-cache rule.  Unbounded per-shard caches keyed on
+            node/source identity are the leak class the LRU bounds exist
+            to prevent (DEVELOPMENT.md complexity-budget table).
+``SHR403``  a listener registration (``add_*_listener(...)``) in a class
+            with no matching ``remove_*_listener`` teardown anywhere in
+            the class — the PR 6 leak class.  Under sharding, migrating
+            or tearing down a partition must detach its listeners or the
+            mesh keeps dead shards alive.
+``SHR404``  mutation of an object received from another subsystem
+            (attribute write through a parameter whose annotation
+            resolves to a class in a different top-level package),
+            bypassing the ``GlobalStateManager`` funnel.  Cross-shard
+            writes must go through one auditable seam.
+==========  =============================================================
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, List, Optional, Set
+
+from repro.analysis.context import AnalysisContext, ClassInfo, ModuleInfo
+from repro.analysis.violations import Violation
+
+#: value expressions that build a mutable container
+_MUTABLE_CALLS = frozenset(
+    {"dict", "list", "set", "defaultdict", "OrderedDict", "Counter", "deque"}
+)
+
+#: packages exempt from the module-level-state rule (the tool package is
+#: not runtime state; fixtures under other roots never match "repro.")
+_TOOL_PREFIX = "repro.analysis"
+
+#: the sanctioned cross-subsystem mutation funnel
+_FUNNEL_MODULES = frozenset({"repro.state.global_state"})
+
+
+def _is_mutable_container(node: ast.expr) -> bool:
+    if isinstance(node, (ast.Dict, ast.List, ast.Set)):
+        return True
+    if isinstance(node, ast.Call):
+        func = node.func
+        if isinstance(func, ast.Name) and func.id in _MUTABLE_CALLS:
+            return True
+        if isinstance(func, ast.Attribute) and func.attr in _MUTABLE_CALLS:
+            return True
+    return False
+
+
+def _is_lru_dict(node: ast.expr) -> bool:
+    if isinstance(node, ast.Call):
+        func = node.func
+        if isinstance(func, ast.Name) and func.id == "LRUDict":
+            return True
+        if isinstance(func, ast.Attribute) and func.attr == "LRUDict":
+            return True
+    return False
+
+
+def _top_package(module: str) -> Optional[str]:
+    parts = module.split(".")
+    if len(parts) < 2 or parts[0] != "repro":
+        return None
+    return parts[1]
+
+
+class ShardSafetyChecker:
+    """Runs SHR401–SHR404 over the whole program."""
+
+    def __init__(self, context: AnalysisContext) -> None:
+        self.context = context
+        self.violations: List[Violation] = []
+
+    def run(self) -> List[Violation]:
+        for info in self.context.modules.values():
+            if (
+                info.module == _TOOL_PREFIX
+                or info.module.startswith(_TOOL_PREFIX + ".")
+                or _top_package(info.module) is None
+            ):
+                continue
+            self._check_module_globals(info)
+            for cls in info.classes.values():
+                self._check_instance_caches(info, cls)
+                self._check_listener_teardown(info, cls)
+            self._check_cross_subsystem_mutation(info)
+        return self.violations
+
+    def _emit(
+        self, info: ModuleInfo, node: ast.AST, code: str, message: str
+    ) -> None:
+        self.violations.append(
+            Violation(
+                info.path, node.lineno, node.col_offset + 1, code, message
+            )
+        )
+
+    # -- SHR401: module-level mutable containers -----------------------------
+
+    def _check_module_globals(self, info: ModuleInfo) -> None:
+        for node in info.tree.body:
+            targets: List[ast.expr] = []
+            value: Optional[ast.expr] = None
+            if isinstance(node, ast.Assign):
+                targets, value = node.targets, node.value
+            elif isinstance(node, ast.AnnAssign) and node.value is not None:
+                targets, value = [node.target], node.value
+            if value is None or not _is_mutable_container(value):
+                continue
+            for target in targets:
+                if not isinstance(target, ast.Name):
+                    continue
+                name = target.id
+                if name.startswith("__") and name.endswith("__"):
+                    continue  # __all__ and friends are import-time only
+                self._emit(
+                    info,
+                    node,
+                    "SHR401",
+                    f"module-level mutable container '{name}' is "
+                    "process-global state — each worker of a sharded run "
+                    "(ROADMAP item 5) would mutate a diverging copy; freeze "
+                    "it (tuple/frozenset/MappingProxyType) or move it into "
+                    "owned instance state",
+                )
+
+    # -- SHR402: unbounded instance caches -----------------------------------
+
+    def _check_instance_caches(self, info: ModuleInfo, cls: ClassInfo) -> None:
+        for method in cls.methods.values():
+            for node in ast.walk(method):
+                if not isinstance(node, (ast.Assign, ast.AnnAssign)):
+                    continue
+                value = node.value
+                if value is None:
+                    continue
+                targets = (
+                    node.targets
+                    if isinstance(node, ast.Assign)
+                    else [node.target]
+                )
+                for target in targets:
+                    if not (
+                        isinstance(target, ast.Attribute)
+                        and isinstance(target.value, ast.Name)
+                        and target.value.id == "self"
+                    ):
+                        continue
+                    name = target.attr.lower()
+                    if "cache" not in name and "memo" not in name:
+                        continue
+                    if _is_lru_dict(value) or not _is_mutable_container(value):
+                        continue
+                    self._emit(
+                        info,
+                        node,
+                        "SHR402",
+                        f"cache 'self.{target.attr}' in {cls.name} is a bare "
+                        "mutable container — unbounded per-shard growth; use "
+                        "repro.model.lru.LRUDict (counted, traced evictions) "
+                        "or justify the bound",
+                    )
+
+    # -- SHR403: listener registrations without teardown ----------------------
+
+    def _check_listener_teardown(self, info: ModuleInfo, cls: ClassInfo) -> None:
+        registered: List[ast.Call] = []
+        removed: Set[str] = set()
+        for method in cls.methods.values():
+            for node in ast.walk(method):
+                if not (
+                    isinstance(node, ast.Call)
+                    and isinstance(node.func, ast.Attribute)
+                ):
+                    continue
+                attr = node.func.attr
+                receiver = node.func.value
+                is_self = (
+                    isinstance(receiver, ast.Name) and receiver.id == "self"
+                )
+                if (
+                    attr.startswith("add_")
+                    and attr.endswith("_listener")
+                    and not is_self
+                ):
+                    registered.append(node)
+                elif attr.startswith("remove_") and attr.endswith("_listener"):
+                    removed.add(attr[len("remove_") : -len("_listener")])
+        for call in registered:
+            func = call.func
+            assert isinstance(func, ast.Attribute)
+            kind = func.attr[len("add_") : -len("_listener")]
+            if kind in removed:
+                continue
+            self._emit(
+                info,
+                call,
+                "SHR403",
+                f"{cls.name} registers an {func.attr}() callback but never "
+                f"calls remove_{kind}_listener — the PR 6 leak class; under "
+                "sharding a migrated/torn-down partition must detach its "
+                "listeners (add a close() teardown)",
+            )
+
+    # -- SHR404: cross-subsystem mutation bypassing the funnel -----------------
+
+    def _check_cross_subsystem_mutation(self, info: ModuleInfo) -> None:
+        if info.module in _FUNNEL_MODULES:
+            return
+        own_package = _top_package(info.module)
+        functions: List[ast.FunctionDef] = list(info.functions.values())
+        for cls in info.classes.values():
+            functions.extend(cls.methods.values())
+        for function in functions:
+            param_classes = self.context.param_classes_for(info, function)
+            foreign = {
+                name: cls
+                for name, cls in param_classes.items()
+                if name not in ("self", "cls")
+                and _top_package(cls.module) not in (own_package, None)
+            }
+            if not foreign:
+                continue
+            for node in ast.walk(function):
+                target: Optional[ast.expr] = None
+                if isinstance(node, ast.Assign):
+                    for assign_target in node.targets:
+                        if isinstance(assign_target, ast.Attribute):
+                            target = assign_target
+                elif isinstance(node, ast.AugAssign) and isinstance(
+                    node.target, ast.Attribute
+                ):
+                    target = node.target
+                if target is None:
+                    continue
+                assert isinstance(target, ast.Attribute)
+                owner = target.value
+                if not (
+                    isinstance(owner, ast.Name) and owner.id in foreign
+                ):
+                    continue
+                holder = foreign[owner.id]
+                self._emit(
+                    info,
+                    node,
+                    "SHR404",
+                    f"writes '{owner.id}.{target.attr}' on a "
+                    f"{holder.name} owned by {holder.module} — a "
+                    "cross-subsystem mutation outside the GlobalStateManager "
+                    "funnel; under sharding this is a cross-shard write with "
+                    "no ordering guarantee",
+                )
+
+
+def check_shard_safety(context: AnalysisContext) -> List[Violation]:
+    """All SHR4xx violations for one whole-program context."""
+    return ShardSafetyChecker(context).run()

@@ -71,14 +71,44 @@ def parse_suppressions(source: str) -> Dict[int, FrozenSet[str]]:
             )
             if not codes:
                 continue
-            line = token.start[0]
-            # a comment-only line shields the line below it
-            if line <= len(lines) and lines[line - 1].lstrip().startswith("#"):
-                line += 1
+            line = _anchor_line(lines, token.start[0])
             suppressions[line] = codes | suppressions.get(line, frozenset())
     except tokenize.TokenError:
         pass  # a syntactically broken file reports a parse violation instead
     return suppressions
+
+
+#: how far an anchor may travel past decorators to reach its def/class
+_DECORATOR_SCAN_LIMIT = 20
+
+
+def _anchor_line(lines: List[str], comment_line: int) -> int:
+    """The source line a suppression comment shields.
+
+    A trailing marker anchors to its own line.  A comment-only line
+    anchors to the next *code* line — skipping further comment-only and
+    blank lines (so stacked comments above a statement all anchor to the
+    statement, not to each other).  When that code line is a decorator,
+    the anchor continues to the decorated ``def``/``class`` line, because
+    def-anchored rules report at the ``def``, not at the decorator.
+    """
+    index = comment_line - 1  # 0-based
+    if index >= len(lines) or not lines[index].lstrip().startswith("#"):
+        return comment_line  # trailing marker: own line
+    index += 1
+    while index < len(lines):
+        stripped = lines[index].strip()
+        if stripped and not stripped.startswith("#"):
+            break
+        index += 1
+    if index >= len(lines):
+        return comment_line
+    if lines[index].lstrip().startswith("@"):
+        for scan in range(index + 1, min(index + 1 + _DECORATOR_SCAN_LIMIT, len(lines))):
+            stripped = lines[scan].lstrip()
+            if stripped.startswith(("def ", "async def ", "class ")):
+                return scan + 1
+    return index + 1
 
 
 def apply_suppressions(

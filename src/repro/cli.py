@@ -18,6 +18,7 @@ from __future__ import annotations
 import argparse
 import sys
 from dataclasses import replace
+from types import MappingProxyType
 from typing import List, Optional, Sequence
 
 from repro.experiments import (
@@ -52,7 +53,9 @@ from repro.observability import (
     write_jsonl,
 )
 
-SCALES = {"paper": PAPER_SCALE, "fast": FAST_SCALE}
+# read-only by construction: a worker mutating its copy of the scale map
+# would silently diverge from its siblings under sharded runs
+SCALES = MappingProxyType({"paper": PAPER_SCALE, "fast": FAST_SCALE})
 
 
 def _floats(text: str) -> List[float]:

@@ -56,6 +56,7 @@ from repro.core.selection import (
     ScoredCandidate,
 )
 from repro.model.lru import LRUDict
+from repro.observability.hotpath import hot_path
 from repro.model.component import Component
 from repro.model.qos import MetricKind, QoSVector
 from repro.model.qos_model import LoadDependentQoSModel
@@ -440,6 +441,7 @@ class FastScorer:
 
     # -- scoring ---------------------------------------------------------------
 
+    @hot_path(budget="O(P × k)")
     def score_level(
         self,
         request: StreamRequest,

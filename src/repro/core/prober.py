@@ -39,6 +39,7 @@ from __future__ import annotations
 import enum
 from typing import Callable, Dict, List, Optional, Tuple
 
+from repro.observability.hotpath import hot_path
 from repro.observability.recorder import wall_clock as perf_counter
 
 from repro.core.composer import Composer, CompositionContext, CompositionOutcome
@@ -112,6 +113,7 @@ class ProbingComposer(Composer):
 
     # -- the protocol ---------------------------------------------------------
 
+    @hot_path(budget="O(levels × P × M)")
     def compose(self, request: StreamRequest) -> CompositionOutcome:
         """Run the probing wavefront for one request (Fig. 3's protocol)."""
         context = self.context

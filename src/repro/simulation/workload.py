@@ -22,7 +22,8 @@ import math
 import random
 from bisect import bisect_left, bisect_right
 from dataclasses import dataclass, field, replace
-from typing import Dict, Iterable, Iterator, List, Optional, Protocol, Tuple
+from types import MappingProxyType
+from typing import Iterable, Iterator, List, Mapping, Optional, Protocol, Tuple
 
 from repro.model.function_graph import FunctionGraph
 from repro.model.qos import DEFAULT_QOS_SCHEMA, QoSSchema, QoSVector
@@ -62,12 +63,12 @@ class QoSLevel:
 
 #: The stringency levels used across the experiments.  "high" and
 #: "very_high" correspond to Fig. 5(b)'s two curves.
-QOS_LEVELS: Dict[str, QoSLevel] = {
+QOS_LEVELS: Mapping[str, QoSLevel] = MappingProxyType({
     "loose": QoSLevel("loose", delay_slack=2.5, loss_slack=3.0),
     "normal": QoSLevel("normal", delay_slack=1.8, loss_slack=2.2),
     "high": QoSLevel("high", delay_slack=1.35, loss_slack=1.7),
     "very_high": QoSLevel("very_high", delay_slack=1.1, loss_slack=1.3),
-}
+})
 
 
 @dataclass(frozen=True)

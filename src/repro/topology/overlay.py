@@ -194,6 +194,18 @@ class OverlayNetwork:
         else:
             self._down_node_ids.add(node.node_id)
 
+    def close(self) -> None:
+        """Detach the liveness listeners registered in ``__init__``.
+
+        Teardown hook for shard migration and test isolation: a network
+        handed off or discarded must not stay subscribed to its nodes,
+        or the nodes keep the dead network (and everything it references)
+        alive and keep invoking it on every fail/recover.  Idempotent —
+        :meth:`Node.remove_liveness_listener` is a no-op when absent.
+        """
+        for node in self._nodes:
+            node.remove_liveness_listener(self._on_liveness_change)
+
     # -- accessors ---------------------------------------------------------
 
     @property

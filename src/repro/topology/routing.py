@@ -69,6 +69,7 @@ from scipy.sparse.csgraph import dijkstra
 from repro.model.component_graph import VirtualLinkPath
 from repro.model.lru import LRUDict
 from repro.model.qos import MetricKind, QoSVector, combine_all
+from repro.observability.hotpath import hot_path
 from repro.observability import NULL_RECORDER, Recorder
 from repro.topology.overlay import OverlayLink, OverlayNetwork
 
@@ -186,8 +187,8 @@ class OverlayRouter:
         self._trees: LRUDict[int, _SourceTree] = LRUDict(
             capacity=tree_cache_size, on_evict=self._on_tree_evicted
         )
-        self._path_cache: Dict[int, Dict[int, Tuple[int, ...]]] = {}
-        self._qos_cache: Dict[int, Dict[int, QoSVector]] = {}
+        self._path_cache: Dict[int, Dict[int, Tuple[int, ...]]] = {}  # repro-lint: disable=SHR402 -- evicted in lockstep with the _trees LRU above; bound is tree_cache_size, a second LRU would double the bookkeeping for the same bound
+        self._qos_cache: Dict[int, Dict[int, QoSVector]] = {}  # repro-lint: disable=SHR402 -- same lockstep eviction as _path_cache
         schema = (
             network.links[0].qos.schema
             if network.links
@@ -515,6 +516,7 @@ class OverlayRouter:
     def down_nodes(self) -> frozenset:
         return self._down_nodes
 
+    @hot_path(budget="O(affected × N)")
     def set_down_nodes(self, node_ids: Iterable[int]) -> None:
         """Declare the set of crashed nodes and re-route around them.
 
@@ -570,6 +572,7 @@ class OverlayRouter:
         patched = 0
         # peek: an invalidation scan must not rewrite recency order
         # repro-lint: disable=DET103 -- LRUDict.keys() is a list snapshot in deterministic recency order, not hash order
+        # repro-lint: disable=HOT503 -- scans the LRU-bounded tree cache: O(C) with C = tree_cache_size, not O(N)
         for source in self._trees.keys():
             tree = self._trees.peek(source)
             if tree is None:  # pragma: no cover - snapshot, no concurrent evict
@@ -615,6 +618,7 @@ class OverlayRouter:
     def down_links(self) -> frozenset:
         return self._down_links
 
+    @hot_path(budget="O(affected × N)")
     def set_down_links(self, link_ids: Iterable[int]) -> None:
         """Declare the set of failed overlay links and re-route around them.
 
@@ -673,6 +677,7 @@ class OverlayRouter:
 
         dropped = 0
         # repro-lint: disable=DET103 -- LRUDict.keys() is a list snapshot in deterministic recency order, not hash order
+        # repro-lint: disable=HOT503 -- scans the LRU-bounded tree cache: O(C) with C = tree_cache_size, not O(N)
         for source in self._trees.keys():
             tree = self._trees.peek(source)
             if tree is None:  # pragma: no cover - snapshot, no concurrent evict

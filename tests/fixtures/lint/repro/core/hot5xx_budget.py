@@ -1,0 +1,34 @@
+"""Fixture: budget violations inside @hot_path functions (HOT501-506)."""
+
+import numpy as np
+
+from repro.observability.hotpath import hot_path
+
+
+class Wavefront:
+    def __init__(self, network, table, recorder) -> None:
+        self.network = network
+        self._table = table
+        self.recorder = recorder
+
+    @hot_path(budget="O(P × k)")
+    def expand(self, pool):
+        ranked = sorted(self._table.items())
+        matrix = np.zeros((len(pool), len(pool)))
+        for _key, value in self._table.items():
+            matrix[0][0] += value
+        label = f"expand:{len(pool)}"
+        print(label)
+        return ranked, matrix
+
+    @hot_path(budget="O(P)")
+    def gather(self):
+        return collect(self.network)
+
+    @hot_path(budget="fast")
+    def misbudgeted(self):
+        return None
+
+
+def collect(network):
+    return list(network.nodes)

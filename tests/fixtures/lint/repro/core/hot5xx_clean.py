@@ -1,0 +1,20 @@
+"""Fixture: @hot_path code that stays inside its budget (HOT5xx clean)."""
+
+from repro.observability.hotpath import hot_path
+
+
+class Wavefront:
+    def __init__(self, recorder, table) -> None:
+        self.recorder = recorder
+        self._table = table
+
+    @hot_path(budget="O(P × k)")
+    def expand(self, probes):
+        total = 0
+        for probe in probes:
+            total += probe
+        if self.recorder.enabled:
+            self.recorder.emit("expand", total=f"probes:{total}")
+        if total < 0:
+            raise ValueError(f"negative beam mass {total}")
+        return total

@@ -1,0 +1,10 @@
+"""Fixture: a budget-table function missing its @hot_path marker (HOT506).
+
+The fixture tree reuses the real module name ``repro.core.prober`` so the
+``REQUIRED_HOT_PATHS`` table matches ``ProbingComposer.compose``.
+"""
+
+
+class ProbingComposer:
+    def compose(self, request):
+        return request

@@ -1,0 +1,11 @@
+"""Fixture: instance caches on bare containers (SHR402)."""
+
+from typing import Dict, Tuple
+
+
+class RowScorer:
+    def __init__(self, capacity: int) -> None:
+        self._row_cache = {}
+        self._score_memo: Dict[Tuple[int, int], float] = dict()
+        self._bounds = {}
+        self.capacity = capacity

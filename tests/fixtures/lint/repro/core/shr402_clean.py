@@ -1,0 +1,11 @@
+"""Fixture: instance caches on the bounded LRU (SHR402 clean)."""
+
+from repro.model.lru import LRUDict
+
+
+class RowScorer:
+    def __init__(self, capacity: int) -> None:
+        self._row_cache = LRUDict(capacity=capacity)
+        self._score_memo = LRUDict(capacity=capacity)
+        self._bounds = {}
+        self.capacity = capacity

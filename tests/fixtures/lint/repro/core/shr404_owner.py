@@ -1,0 +1,7 @@
+"""Fixture: the class another subsystem mutates (SHR404's owner)."""
+
+
+class ControlChannel:
+    def __init__(self) -> None:
+        self.deliveries = 0
+        self.loss_probability = 0.0

@@ -1,0 +1,14 @@
+"""Fixture: declared derivations and pass-throughs (DET150 clean).
+
+The test registry declares ``seed + 99`` for this module; pass-throughs
+(``Random(seed)``, ``Random(0)``) never need a slot.
+"""
+
+import random
+
+
+def build_streams(seed: int):
+    churn = random.Random(seed + 99)
+    direct = random.Random(seed)
+    fixed = random.Random(0)
+    return churn, direct, fixed

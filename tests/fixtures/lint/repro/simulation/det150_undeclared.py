@@ -1,0 +1,13 @@
+"""Fixture: seed derivations with no registry slot (DET150)."""
+
+import random
+
+
+def build_streams(seed: int):
+    churn = random.Random(seed + 99)
+    probe = random.Random(seed * 5 + 2)
+    return churn, probe
+
+
+def spawn_generator(workload_seed: int, generator_factory):
+    return generator_factory(seed=workload_seed + 7)

@@ -1,0 +1,11 @@
+"""Fixture: a declared slot colliding with another slot (DET151).
+
+The test registry declares this module's ``seed + 31`` slot *and* a
+second slot in another subsystem at the same absolute stream.
+"""
+
+import random
+
+
+def build_churn(seed: int):
+    return random.Random(seed + 31)

@@ -1,0 +1,15 @@
+"""Fixture: a slot-bound stream staying inside its consumer (DET152 clean).
+
+Same shape as the escape fixture, but the test registry declares
+``repro.topology`` as this slot's consumer, so the flow is sanctioned.
+"""
+
+import random
+
+from repro.topology.det152_sink import consume
+
+
+def build(seed: int):
+    rng = random.Random(seed + 14)
+    consume(rng)
+    return rng

@@ -1,0 +1,16 @@
+"""Fixture: a slot-bound stream escaping its declared consumer (DET152).
+
+The test registry declares ``seed + 13`` with consumer
+``repro.simulation`` — passing the stream into ``repro.topology`` is the
+escape.
+"""
+
+import random
+
+from repro.topology.det152_sink import consume
+
+
+def build(seed: int):
+    rng = random.Random(seed + 13)
+    consume(rng)
+    return rng

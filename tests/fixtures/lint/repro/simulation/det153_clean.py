@@ -1,0 +1,15 @@
+"""Fixture: the branch draws from its own declared stream (DET153 clean).
+
+The test registry declares ``seed + 21`` for the burst stream, so
+toggling ``spec.enable_burst`` cannot shift the main stream's draws.
+"""
+
+import random
+
+
+def generate(spec, seed: int):
+    rng = random.Random(seed)
+    if spec.enable_burst:
+        burst_rng = random.Random(seed + 21)
+        burst_rng.random()
+    return rng.random()

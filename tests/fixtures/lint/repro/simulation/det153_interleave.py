@@ -1,0 +1,10 @@
+"""Fixture: draws interleaved across a config-dependent branch (DET153)."""
+
+import random
+
+
+def generate(spec, seed: int):
+    rng = random.Random(seed)
+    if spec.enable_burst:
+        rng.random()
+    return rng.random()

@@ -1,0 +1,12 @@
+"""Fixture: reading a foreign object and mutating your own (SHR404 clean)."""
+
+from repro.core.shr404_owner import ControlChannel
+
+
+class FaultPlanner:
+    def __init__(self) -> None:
+        self.planned_loss = 0.0
+
+    def plan(self, channel: ControlChannel) -> float:
+        self.planned_loss = channel.loss_probability
+        return self.planned_loss

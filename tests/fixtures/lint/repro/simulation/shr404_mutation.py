@@ -1,0 +1,17 @@
+"""Fixture: cross-subsystem attribute writes (SHR404).
+
+``ControlChannel`` lives in ``repro.core``; a ``repro.simulation``
+function writing its attributes bypasses the GlobalStateManager funnel.
+"""
+
+from repro.core.shr404_owner import ControlChannel
+
+
+def sabotage(channel: ControlChannel) -> None:
+    channel.loss_probability = 0.5
+    channel.deliveries += 1
+
+
+class Injector:
+    def arm(self, channel: ControlChannel) -> None:
+        channel.loss_probability = 1.0

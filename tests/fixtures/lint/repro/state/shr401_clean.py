@@ -1,0 +1,9 @@
+"""Fixture: frozen module-level state (SHR401 clean)."""
+
+from types import MappingProxyType
+from typing import Mapping
+
+REGIONS: Mapping[str, int] = MappingProxyType({"alpha": 1, "beta": 2})
+ACTIVE = (1, 2, 3)
+NAMES = frozenset({"alpha", "beta"})
+LIMIT = 16

@@ -1,0 +1,12 @@
+"""Fixture: module-level mutable containers (SHR401)."""
+
+from collections import defaultdict
+from typing import Dict, List
+
+REGIONS = {}
+ACTIVE: List[int] = []
+LOOKUP = dict(alpha=1)
+BY_KIND: Dict[str, list] = defaultdict(list)
+__all__ = ["REGIONS", "ACTIVE", "LOOKUP", "BY_KIND"]
+LIMIT = 16
+NAMES = ("alpha", "beta")

@@ -6,7 +6,7 @@ from random import Random
 
 def seeded_instances(seed: int):
     a = random.Random(seed)
-    b = Random(seed * 7 + 1)
+    b = Random(seed * 7 + 1)  # repro-lint: disable=DET150 -- fixture shows DET101-clean shapes; registry membership is DET150's own fixture
     c = random.Random(x=3)
     return a, b, c
 

@@ -1,0 +1,5 @@
+"""Fixture: the module a slot-bound stream leaks into (DET152's sink)."""
+
+
+def consume(rng):
+    return rng.random()

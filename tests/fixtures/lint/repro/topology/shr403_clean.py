@@ -1,0 +1,17 @@
+"""Fixture: a listener registration with a close() teardown (SHR403 clean)."""
+
+
+class LivenessWatcher:
+    def __init__(self, node) -> None:
+        self._node = node
+        self._down = set()
+        node.add_liveness_listener(self._on_change)
+
+    def _on_change(self, node) -> None:
+        if node.alive:
+            self._down.discard(node.node_id)
+        else:
+            self._down.add(node.node_id)
+
+    def close(self) -> None:
+        self._node.remove_liveness_listener(self._on_change)

@@ -1,0 +1,13 @@
+"""Fixture: a listener registration with no teardown (SHR403)."""
+
+
+class LivenessWatcher:
+    def __init__(self, node) -> None:
+        self._down = set()
+        node.add_liveness_listener(self._on_change)
+
+    def _on_change(self, node) -> None:
+        if node.alive:
+            self._down.discard(node.node_id)
+        else:
+            self._down.add(node.node_id)

@@ -1,0 +1,23 @@
+"""Fixture: suppression anchoring on multi-line statements and decorated defs.
+
+Both markers sit on their own comment line; the first must shield the
+first line of the multi-line statement below it, the second must travel
+past the decorator to the ``def`` line (where def-anchored rules report).
+"""
+
+import time
+
+from repro.observability.hotpath import hot_path
+
+
+def timed():
+    # repro-lint: disable=DET102 -- fixture: marker above a multi-line call anchors to its first line
+    return time.time(
+        # a continuation line; the violation reports at the call above
+    )
+
+
+# repro-lint: disable=HOT506 -- fixture: marker above a decorated def anchors past the decorator
+@hot_path(budget="roughly linear")
+def sketch():
+    return None

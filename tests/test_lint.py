@@ -7,14 +7,27 @@ new false positives) both fail loudly.  The suite ends with the
 self-hosting check: the real ``src/repro`` tree must lint clean.
 """
 
+import io
+import json
 import os
 import subprocess
 import sys
 import unittest
+from contextlib import redirect_stderr, redirect_stdout
+from unittest import mock
 
 from repro.analysis import lint_paths
+from repro.analysis.cli import main as cli_main
+from repro.analysis.docs import seed_table_block
 from repro.analysis.engine import module_name
 from repro.analysis.rules import ALL_RULES
+from repro.analysis.seeds import (
+    REGISTRY,
+    SeedSlot,
+    absolute_derivation,
+    slots_by_name,
+    validate_registry,
+)
 from repro.analysis.violations import parse_suppressions
 
 FIXTURES = os.path.join(os.path.dirname(__file__), "fixtures", "lint")
@@ -29,6 +42,56 @@ def fixture(*parts: str) -> str:
 def lint_fixture(*parts: str):
     """Lint one fixture file with the fixture tree as the module root."""
     result = lint_paths([fixture(*parts)], src_root=FIXTURES)
+    return [(v.code, v.line) for v in result.violations]
+
+
+def _slot(**overrides) -> SeedSlot:
+    base = dict(
+        name="fx",
+        base="workload_seed",
+        symbol="seed",
+        multiplier=1,
+        offset=0,
+        module="repro.simulation.fx",
+        consumer="repro.simulation",
+        subsystem="fixture",
+        description="fixture slot",
+    )
+    base.update(overrides)
+    return SeedSlot(**base)
+
+
+#: slots the provenance fixtures declare (passed via ``seed_registry`` so
+#: the production registry stays fixture-free)
+FIXTURE_SLOTS = (
+    _slot(name="fx-churn", offset=99, module="repro.simulation.det150_clean"),
+    _slot(
+        name="fx-collide-a",
+        offset=31,
+        module="repro.simulation.det151_collision",
+    ),
+    _slot(
+        name="fx-collide-b",
+        offset=31,
+        module="repro.topology.det152_sink",
+        consumer="repro.topology",
+    ),
+    _slot(name="fx-escape", offset=13, module="repro.simulation.det152_escape"),
+    _slot(
+        name="fx-sanctioned",
+        offset=14,
+        module="repro.simulation.det152_clean",
+        consumer="repro.topology",
+    ),
+    _slot(name="fx-burst", offset=21, module="repro.simulation.det153_clean"),
+)
+
+
+def lint_fixtures(names, registry=None):
+    """Lint several fixture files together (whole-program rules need the
+    full context); ``names`` are slash-separated fixture-relative paths."""
+    paths = [fixture(*name.split("/")) for name in names]
+    result = lint_paths(paths, src_root=FIXTURES, seed_registry=registry)
     return [(v.code, v.line) for v in result.violations]
 
 
@@ -136,6 +199,192 @@ class RecorderDisciplineRuleTest(unittest.TestCase):
         self.assertEqual(lint_fixture("simulation", "cold_path.py"), [])
 
 
+class RngFlowRuleTest(unittest.TestCase):
+    def test_det150_undeclared_derivations(self):
+        found = lint_fixtures(
+            ["simulation/det150_undeclared.py"], FIXTURE_SLOTS
+        )
+        self.assertEqual(
+            found,
+            [
+                ("DET150", 7),   # Random(seed + 99), no slot
+                ("DET150", 8),   # Random(seed * 5 + 2), no slot
+                ("DET150", 13),  # seed=workload_seed + 7 keyword site
+            ],
+        )
+
+    def test_det150_declared_and_passthrough_are_clean(self):
+        self.assertEqual(
+            lint_fixtures(["simulation/det150_clean.py"], FIXTURE_SLOTS), []
+        )
+
+    def test_det151_colliding_slots(self):
+        found = lint_fixtures(
+            ["simulation/det151_collision.py"], FIXTURE_SLOTS
+        )
+        self.assertEqual(found, [("DET151", 11)])
+
+    def test_det152_stream_escaping_its_consumer(self):
+        found = lint_fixtures(
+            ["simulation/det152_escape.py", "topology/det152_sink.py"],
+            FIXTURE_SLOTS,
+        )
+        self.assertEqual(found, [("DET152", 15)])
+
+    def test_det152_flow_into_declared_consumer_is_clean(self):
+        self.assertEqual(
+            lint_fixtures(
+                ["simulation/det152_clean.py", "topology/det152_sink.py"],
+                FIXTURE_SLOTS,
+            ),
+            [],
+        )
+
+    def test_det153_config_dependent_interleaving(self):
+        found = lint_fixtures(
+            ["simulation/det153_interleave.py"], FIXTURE_SLOTS
+        )
+        self.assertEqual(found, [("DET153", 10)])
+
+    def test_det153_branch_with_its_own_stream_is_clean(self):
+        self.assertEqual(
+            lint_fixtures(["simulation/det153_clean.py"], FIXTURE_SLOTS), []
+        )
+
+
+class ShardSafetyRuleTest(unittest.TestCase):
+    def test_shr401_module_level_mutable_containers(self):
+        found = lint_fixture("state", "shr401_module_state.py")
+        self.assertEqual(
+            found,
+            [
+                ("SHR401", 6),  # dict literal
+                ("SHR401", 7),  # annotated list literal
+                ("SHR401", 8),  # dict(...) constructor
+                ("SHR401", 9),  # defaultdict(...); __all__ exempt below
+            ],
+        )
+
+    def test_shr401_frozen_state_is_clean(self):
+        self.assertEqual(lint_fixture("state", "shr401_clean.py"), [])
+
+    def test_shr402_bare_dict_caches(self):
+        found = lint_fixture("core", "shr402_cache.py")
+        # _bounds is a bare dict too, but not named *cache*/*memo*
+        self.assertEqual(found, [("SHR402", 8), ("SHR402", 9)])
+
+    def test_shr402_lru_caches_are_clean(self):
+        self.assertEqual(lint_fixture("core", "shr402_clean.py"), [])
+
+    def test_shr403_listener_without_teardown(self):
+        found = lint_fixture("topology", "shr403_listener.py")
+        self.assertEqual(found, [("SHR403", 7)])
+
+    def test_shr403_close_teardown_is_clean(self):
+        self.assertEqual(lint_fixture("topology", "shr403_clean.py"), [])
+
+    def test_shr404_cross_subsystem_writes(self):
+        found = lint_fixtures(
+            ["simulation/shr404_mutation.py", "core/shr404_owner.py"]
+        )
+        self.assertEqual(
+            found,
+            [
+                ("SHR404", 11),  # plain attribute write
+                ("SHR404", 12),  # augmented assignment
+                ("SHR404", 17),  # method parameter
+            ],
+        )
+
+    def test_shr404_reading_foreign_state_is_clean(self):
+        self.assertEqual(
+            lint_fixtures(
+                ["simulation/shr404_clean.py", "core/shr404_owner.py"]
+            ),
+            [],
+        )
+
+
+class HotPathRuleTest(unittest.TestCase):
+    def test_hot5xx_budget_violations(self):
+        found = lint_fixture("core", "hot5xx_budget.py")
+        self.assertEqual(
+            found,
+            [
+                ("HOT501", 16),  # sorted(self._table.items())
+                ("HOT502", 17),  # np.zeros((len(pool), len(pool)))
+                ("HOT503", 18),  # for over self._table.items()
+                ("HOT504", 20),  # unguarded f-string
+                ("HOT505", 21),  # print()
+                ("HOT506", 29),  # budget="fast" is not O(...)
+                ("HOT501", 34),  # list(network.nodes) in a resolved callee
+            ],
+        )
+
+    def test_hot5xx_guarded_and_bounded_is_clean(self):
+        self.assertEqual(lint_fixture("core", "hot5xx_clean.py"), [])
+
+    def test_hot506_budget_table_function_missing_marker(self):
+        # the fixture tree reuses the real module/class names so the
+        # REQUIRED_HOT_PATHS table matches
+        found = lint_fixture("core", "prober.py")
+        self.assertEqual(found, [("HOT506", 9)])
+
+
+class SeedRegistryTest(unittest.TestCase):
+    def test_registry_is_structurally_sound(self):
+        self.assertEqual(validate_registry(), [])
+
+    def test_absolute_offsets_match_the_determinism_contract(self):
+        by_name = slots_by_name()
+        absolute = {
+            slot.name: absolute_derivation(slot, by_name)
+            for slot in REGISTRY
+        }
+        self.assertEqual(
+            absolute["composition-rng"], ("workload_seed", 1, 17)
+        )
+        self.assertEqual(absolute["churn-injector"], ("workload_seed", 1, 31))
+        self.assertEqual(
+            absolute["control-plane-faults"], ("workload_seed", 1, 41)
+        )
+        # chained: state-update-loss = control-plane-faults + 1
+        self.assertEqual(
+            absolute["state-update-loss"], ("workload_seed", 1, 42)
+        )
+        self.assertEqual(
+            absolute["population-workload"], ("workload_seed", 1, 43)
+        )
+        self.assertEqual(
+            absolute["population-arrivals"], ("workload_seed", 1, 44)
+        )
+        self.assertEqual(
+            absolute["population-regions"], ("workload_seed", 1, 45)
+        )
+        self.assertEqual(absolute["workload-root"], ("system_seed", 1, 1000))
+        self.assertEqual(
+            absolute["component-templates"], ("system_seed", 7, 1)
+        )
+        self.assertEqual(absolute["overlay-build"], ("system_seed", 7, 3))
+
+    def test_validate_registry_reports_collisions_and_bad_chains(self):
+        colliding = REGISTRY + (
+            _slot(name="fx-dup", offset=17, symbol="workload_seed"),
+        )
+        errors = validate_registry(colliding)
+        self.assertTrue(any("composition-rng" in e for e in errors))
+        dangling = REGISTRY + (_slot(name="fx-dangling", base="no-such"),)
+        errors = validate_registry(dangling)
+        self.assertTrue(any("bad base chain" in e for e in errors))
+
+    def test_development_md_table_is_in_sync(self):
+        """Doc-drift gate: ``make docs-seeds`` must be a no-op."""
+        with open(
+            os.path.join(REPO_ROOT, "DEVELOPMENT.md"), encoding="utf-8"
+        ) as handle:
+            self.assertIn(seed_table_block(), handle.read())
+
+
 class SuppressionTest(unittest.TestCase):
     def test_fixture_suppressions(self):
         # trailing, standalone-above, and disable=all forms all hold; the
@@ -156,6 +405,40 @@ class SuppressionTest(unittest.TestCase):
     def test_marker_inside_string_is_ignored(self):
         source = 'text = "# repro-lint: disable=DET101"\n'
         self.assertEqual(parse_suppressions(source), {})
+
+    def test_anchor_fixture_shields_both_hard_shapes(self):
+        # a marker above a multi-line call anchors to the call's first
+        # line; a marker above a decorated def anchors to the def line
+        self.assertEqual(
+            lint_fixture("topology", "suppressed_anchors.py"), []
+        )
+
+    def test_anchor_skips_stacked_comments_and_blanks(self):
+        source = (
+            "# repro-lint: disable=DET103 -- first of a stack\n"
+            "# a second explanatory comment\n"
+            "\n"
+            "value = compute()\n"
+        )
+        self.assertEqual(parse_suppressions(source), {4: frozenset({"DET103"})})
+
+    def test_anchor_travels_past_decorators_to_the_def(self):
+        source = (
+            "# repro-lint: disable=HOT506 -- decorated def below\n"
+            "@hot_path(budget=\"sketchy\")\n"
+            "@wraps(inner)\n"
+            "def sketch():\n"
+            "    return None\n"
+        )
+        self.assertEqual(parse_suppressions(source), {4: frozenset({"HOT506"})})
+
+    def test_trailing_marker_on_a_multiline_statement_first_line(self):
+        source = (
+            "result = compute(  # repro-lint: disable=DET103 -- trailing\n"
+            "    argument,\n"
+            ")\n"
+        )
+        self.assertEqual(parse_suppressions(source), {1: frozenset({"DET103"})})
 
 
 class ParseErrorTest(unittest.TestCase):
@@ -188,6 +471,81 @@ class EngineTest(unittest.TestCase):
         result = lint_paths([FIXTURES], src_root=FIXTURES)
         for violation in result.violations:
             self.assertIn(violation.code, ALL_RULES)
+
+    def test_every_rule_has_a_violation_fixture(self):
+        """Fixture discovery: linting the whole tree must exercise every
+        catalog code, even for rules without a clean counterpart file
+        (PAR001's broken file is a tempfile, see ParseErrorTest)."""
+        result = lint_paths([FIXTURES], src_root=FIXTURES, seed_registry=FIXTURE_SLOTS)
+        emitted = {v.code for v in result.violations}
+        self.assertEqual(result.internal_errors, [])
+        expected = set(ALL_RULES) - {"PAR001"}
+        self.assertEqual(expected - emitted, set())
+
+    def test_crashed_rule_pass_is_an_internal_error(self):
+        with mock.patch(
+            "repro.analysis.engine.check_determinism",
+            side_effect=RuntimeError("rule exploded"),
+        ):
+            result = lint_paths(
+                [fixture("core", "hot_guarded.py")], src_root=FIXTURES
+            )
+        self.assertFalse(result.ok)
+        self.assertTrue(result.internal_errors)
+        self.assertIn("determinism crashed", result.internal_errors[0])
+        self.assertIn("rule exploded", result.internal_errors[0])
+
+    def test_crashed_program_pass_still_reports_other_families(self):
+        with mock.patch(
+            "repro.analysis.engine.check_shard_safety",
+            side_effect=RuntimeError("pass exploded"),
+        ):
+            result = lint_paths(
+                [fixture("core", "hot5xx_budget.py")], src_root=FIXTURES
+            )
+        self.assertTrue(result.internal_errors)
+        # the hot-path family still ran and found its violations
+        self.assertIn("HOT501", {v.code for v in result.violations})
+
+
+class OutputFormatTest(unittest.TestCase):
+    def _result(self):
+        return lint_paths(
+            [fixture("core", "hot_unguarded.py")], src_root=FIXTURES
+        )
+
+    def test_text_format_is_path_line_col_code(self):
+        line = self._result().formatted().splitlines()[0]
+        self.assertRegex(line, r"hot_unguarded\.py:5:\d+: REC301 ")
+
+    def test_json_format_round_trips(self):
+        document = json.loads(self._result().formatted_json())
+        self.assertFalse(document["clean"])
+        self.assertEqual(document["files_checked"], 1)
+        self.assertEqual(document["internal_errors"], [])
+        codes = {entry["code"] for entry in document["violations"]}
+        self.assertEqual(codes, {"REC301"})
+        first = document["violations"][0]
+        self.assertEqual(
+            sorted(first), ["code", "col", "line", "message", "path"]
+        )
+        self.assertEqual(first["line"], 5)
+
+    def test_json_format_clean_tree(self):
+        result = lint_paths(
+            [fixture("core", "hot_guarded.py")], src_root=FIXTURES
+        )
+        document = json.loads(result.formatted_json())
+        self.assertTrue(document["clean"])
+        self.assertEqual(document["violations"], [])
+
+    def test_github_format_emits_workflow_commands(self):
+        lines = self._result().formatted_github().splitlines()
+        self.assertTrue(lines)
+        for line in lines:
+            self.assertRegex(
+                line, r"^::error file=.*,line=\d+,col=\d+,title=REC301::"
+            )
 
 
 class CliTest(unittest.TestCase):
@@ -224,6 +582,84 @@ class CliTest(unittest.TestCase):
         proc = self.run_cli()
         self.assertEqual(proc.returncode, 0, proc.stdout + proc.stderr)
         self.assertIn("clean", proc.stdout)
+
+    FIXTURE_ARGS = (
+        os.path.join(
+            "tests", "fixtures", "lint", "repro", "core", "hot_unguarded.py"
+        ),
+        "--src-root",
+        os.path.join("tests", "fixtures", "lint"),
+    )
+
+    def test_format_json(self):
+        proc = self.run_cli(*self.FIXTURE_ARGS, "--format", "json")
+        self.assertEqual(proc.returncode, 1)
+        document = json.loads(proc.stdout)
+        self.assertFalse(document["clean"])
+        self.assertEqual(
+            {entry["code"] for entry in document["violations"]}, {"REC301"}
+        )
+
+    def test_format_github(self):
+        proc = self.run_cli(*self.FIXTURE_ARGS, "--format", "github")
+        self.assertEqual(proc.returncode, 1)
+        self.assertIn("::error file=", proc.stdout)
+        self.assertIn("title=REC301::", proc.stdout)
+
+    def test_format_text_is_the_default(self):
+        proc = self.run_cli(*self.FIXTURE_ARGS)
+        self.assertEqual(proc.returncode, 1)
+        self.assertIn("hot_unguarded.py:5:", proc.stdout)
+        self.assertNotIn("::error", proc.stdout)
+        self.assertNotIn("{", proc.stdout)
+
+    def test_layers_round_trip(self):
+        proc = self.run_cli("--layers")
+        self.assertEqual(proc.returncode, 0)
+        # every declared rank and both universal/tool rows print
+        for package in ("model", "topology", "core", "simulation", "cli"):
+            self.assertIn(package, proc.stdout)
+        self.assertIn("observability", proc.stdout)
+        self.assertIn("analysis", proc.stdout)
+
+    def test_seed_table_round_trip(self):
+        proc = self.run_cli("--seed-table")
+        self.assertEqual(proc.returncode, 0)
+        for slot in REGISTRY:
+            self.assertIn(slot.name, proc.stdout)
+
+    def test_crashed_rule_exits_two(self):
+        # in-process so the broken rule can be injected with mock.patch
+        stdout, stderr = io.StringIO(), io.StringIO()
+        with mock.patch(
+            "repro.analysis.engine.check_determinism",
+            side_effect=RuntimeError("rule exploded"),
+        ), redirect_stdout(stdout), redirect_stderr(stderr):
+            code = cli_main(
+                [fixture("core", "hot_guarded.py"), "--src-root", FIXTURES]
+            )
+        self.assertEqual(code, 2)
+        self.assertIn("internal error", stderr.getvalue())
+
+    def test_crashed_rule_exits_two_in_github_format(self):
+        stdout, stderr = io.StringIO(), io.StringIO()
+        with mock.patch(
+            "repro.analysis.engine.check_determinism",
+            side_effect=RuntimeError("rule exploded"),
+        ), redirect_stdout(stdout), redirect_stderr(stderr):
+            code = cli_main(
+                [
+                    fixture("core", "hot_guarded.py"),
+                    "--src-root",
+                    FIXTURES,
+                    "--format",
+                    "github",
+                ]
+            )
+        self.assertEqual(code, 2)
+        self.assertIn(
+            "::error title=repro-lint internal error::", stdout.getvalue()
+        )
 
 
 class SelfHostingTest(unittest.TestCase):
