@@ -3,7 +3,7 @@
 
 PYTEST := PYTHONPATH=src python -m pytest
 
-.PHONY: test lint check docs-seeds bench bench-micro bench-macro bench-faults bench-scale bench-scale-smoke bench-population bench-population-smoke trace-demo
+.PHONY: test lint check docs-seeds bench bench-micro bench-macro bench-faults bench-scale bench-scale-smoke bench-population bench-population-smoke bench-migration bench-migration-smoke trace-demo
 
 test:
 	$(PYTEST) -x -q tests
@@ -114,6 +114,28 @@ bench-population:
 bench-population-smoke:
 	BENCH_POPULATION_MULTIPLIERS=$${BENCH_POPULATION_MULTIPLIERS:-1,10} $(PYTEST) -q -s benchmarks/test_population.py
 	@echo "smoke sweep: benchmarks/results/BENCH_population_smoke.json"
+
+# Proactive-reconfiguration macro benchmark: the same diurnal +
+# regional-spike simulation with crash recovery alone vs recovery plus
+# hotspot-driven live session migration.  Figures (success, p99 setup,
+# survival, and the migration cost ledger — paused-stream seconds, slack
+# aborts, probe traffic) land in benchmarks/results/BENCH_migration.json;
+# the run asserts proactive strictly beats recover-only on success rate
+# with p99 no worse, that the costs were actually paid, and that a zero
+# migration plan is decision-identical to no plan.  ~3 minutes.
+bench-migration:
+	$(PYTEST) -q -s benchmarks/test_macro_migration.py
+	@echo "migration: benchmarks/results/BENCH_migration.json"
+
+# Same harness at whatever horizon/system size the caller sets via
+# BENCH_MIGRATION_DURATION / BENCH_MIGRATION_NODES; writes
+# BENCH_migration_smoke.json so a smoke run can never clobber the
+# committed full result.  CI runs a short horizon on every push.
+bench-migration-smoke:
+	BENCH_MIGRATION_DURATION=$${BENCH_MIGRATION_DURATION:-300} \
+	BENCH_MIGRATION_NODES=$${BENCH_MIGRATION_NODES:-120} \
+	$(PYTEST) -q -s benchmarks/test_macro_migration.py
+	@echo "smoke: benchmarks/results/BENCH_migration_smoke.json"
 
 # Full benchmark suite: every figure harness at FAST_SCALE plus the micro
 # operations.  Figure rows land in benchmarks/results/*.txt.  The ~10-min

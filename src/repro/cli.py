@@ -25,6 +25,7 @@ from repro.experiments import (
     ALGORITHMS,
     DEFAULT_FAULT_PLAN,
     DEFAULT_LOAD_MULTIPLIERS,
+    DEFAULT_MIGRATION_PLAN,
     FAST_SCALE,
     PAPER_SCALE,
     POPULATION_SCENARIOS,
@@ -32,6 +33,7 @@ from repro.experiments import (
     format_faults_table,
     format_fig8_table,
     format_figure_table,
+    format_migration_table,
     format_population_table,
     format_report_summary,
     run_faults,
@@ -40,6 +42,7 @@ from repro.experiments import (
     run_fig6,
     run_fig7,
     run_fig8,
+    run_migration,
     run_population,
     run_specs,
 )
@@ -151,6 +154,35 @@ def build_parser() -> argparse.ArgumentParser:
     faults.add_argument(
         "--detection-delay", type=float, default=2.0,
         help="seconds between a fault and the recovery sweep (default: 2)",
+    )
+
+    migrate = add_command(
+        "migrate", "proactive live migration vs recover-only under load drift"
+    )
+    migrate.add_argument(
+        "--load", type=float, default=0.75,
+        help="population load multiplier on the diurnal curve (default: 0.75; "
+        "higher drowns the whole system and leaves no cool targets)",
+    )
+    migrate.add_argument(
+        "--spike-peak", type=float, default=4.0,
+        help="regional flash-crowd peak multiplier driving the hotspot "
+        "(default: 4)",
+    )
+    migrate.add_argument(
+        "--high-watermark", type=float,
+        default=DEFAULT_MIGRATION_PLAN.policy.high_watermark,
+        help="sustained-EWMA utilisation above which a node is hot",
+    )
+    migrate.add_argument(
+        "--sustain", type=int,
+        default=DEFAULT_MIGRATION_PLAN.policy.sustain_rounds,
+        help="consecutive hot rounds before migration triggers",
+    )
+    migrate.add_argument(
+        "--round-cap", type=int,
+        default=DEFAULT_MIGRATION_PLAN.policy.max_session_migrations_per_round,
+        help="max session migrations per rebalance round",
     )
 
     population = add_command(
@@ -296,6 +328,26 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             workers=args.workers,
         )
         _emit(format_faults_table(result), args.output)
+    elif args.command == "migrate":
+        plan = replace(
+            DEFAULT_MIGRATION_PLAN,
+            policy=replace(
+                DEFAULT_MIGRATION_PLAN.policy,
+                high_watermark=args.high_watermark,
+                sustain_rounds=args.sustain,
+                max_session_migrations_per_round=args.round_cap,
+            ),
+        )
+        result = run_migration(
+            scale=scale,
+            num_nodes=args.nodes,
+            seed=args.seed,
+            load_multiplier=args.load,
+            spike_peak=args.spike_peak,
+            plan=plan,
+            workers=args.workers,
+        )
+        _emit(format_migration_table(result), args.output)
     elif args.command == "population":
         result = run_population(
             scale=scale,

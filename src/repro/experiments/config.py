@@ -21,6 +21,7 @@ from dataclasses import dataclass, replace
 from typing import Optional, Tuple, Union
 
 from repro.discovery.deployment import DeploymentProfile
+from repro.middleware.migration import MigrationPlan
 from repro.middleware.session import RecoveryPolicy
 from repro.simulation.failures import FaultPlan
 from repro.simulation.population import PopulationProfile
@@ -98,6 +99,9 @@ class RunSpec:
     #: user-population arrival process; overrides ``schedule`` when set
     #: (the population draws from its own workload_seed + 43 stream)
     population: Optional[PopulationProfile] = None
+    #: proactive live session migration (None or the zero plan: off —
+    #: the planner draws from its own workload_seed + 46 stream)
+    migration: Optional[MigrationPlan] = None
 
     def __post_init__(self) -> None:
         if self.algorithm not in ALGORITHMS:
@@ -132,6 +136,9 @@ class RunSpec:
         self, population: Optional[PopulationProfile]
     ) -> "RunSpec":
         return replace(self, population=population)
+
+    def with_migration(self, migration: Optional[MigrationPlan]) -> "RunSpec":
+        return replace(self, migration=migration)
 
 
 def default_spec(

@@ -13,6 +13,7 @@ from repro.experiments.figures import (
     FaultsResult,
     FigureResult,
     Fig8Result,
+    MigrationResult,
     PopulationResult,
 )
 from repro.simulation.metrics import SimulationReport
@@ -148,6 +149,100 @@ def faults_to_dict(result: FaultsResult) -> dict:
         },
         "baseline": _mode(result.baseline),
         "resilient": _mode(result.resilient),
+    }
+
+
+def format_migration_table(result: MigrationResult) -> str:
+    """Render the proactive-reconfiguration comparison, costs included."""
+    header = [
+        "mode",
+        "requests",
+        "success (%)",
+        "p99 setup (ms)",
+        "survival (%)",
+        "migrated",
+        "slack aborts",
+        "paused (s)",
+        "probes",
+    ]
+    rows = []
+    for label, report in (
+        ("recover-only", result.recover_only),
+        ("proactive+recover", result.proactive),
+    ):
+        rows.append(
+            [
+                label,
+                str(report.total_requests),
+                f"{100.0 * report.success_rate:.1f}",
+                "-"
+                if report.p99_setup_latency_ms is None
+                else f"{report.p99_setup_latency_ms:.1f}",
+                f"{100.0 * report.session_survival_rate:.1f}",
+                str(report.sessions_migrated),
+                str(report.migrations_aborted_on_slack),
+                f"{report.migration_paused_stream_s:.2f}",
+                str(report.migration_probe_messages),
+            ]
+        )
+    policy = result.plan.policy
+    title = (
+        "Proactive reconfiguration: recover-only vs proactive+recover\n"
+        f"(watermarks {policy.low_watermark:g}/{policy.high_watermark:g}, "
+        f"sustain {policy.sustain_rounds} rounds, "
+        f"round cap {policy.max_session_migrations_per_round}, "
+        f"pause budget {policy.pause_slack_fraction:g}x slack)"
+    )
+    return title + "\n" + _align([header] + rows)
+
+
+def migration_to_dict(result: MigrationResult) -> dict:
+    """A proactive-reconfiguration comparison as a JSON-serialisable dict
+    (the ``BENCH_migration.json`` payload shape)."""
+    policy = result.plan.policy
+
+    def _mode(report: SimulationReport) -> dict:
+        payload = report_to_dict(report)
+        payload.update(
+            {
+                "sessions_opened": report.sessions_opened,
+                "sessions_disrupted": report.sessions_disrupted,
+                "sessions_recovered": report.sessions_recovered,
+                "sessions_killed": report.sessions_killed,
+                "session_survival_rate": report.session_survival_rate,
+                "sessions_migrated": report.sessions_migrated,
+                "migrations_aborted_on_slack": (
+                    report.migrations_aborted_on_slack
+                ),
+                "migration_paused_stream_s": report.migration_paused_stream_s,
+                "migration_probe_messages": report.migration_probe_messages,
+            }
+        )
+        return payload
+
+    return {
+        "plan": {
+            "period_s": result.plan.period_s,
+            "ewma_alpha": policy.ewma_alpha,
+            "high_watermark": policy.high_watermark,
+            "low_watermark": policy.low_watermark,
+            "sustain_rounds": policy.sustain_rounds,
+            "min_admission_pressure": policy.min_admission_pressure,
+            "max_session_migrations_per_round": (
+                policy.max_session_migrations_per_round
+            ),
+            "candidate_sample": policy.candidate_sample,
+            "state_kb_per_unit": policy.state_kb_per_unit,
+            "transfer_kbps": policy.transfer_kbps,
+            "pause_slack_fraction": policy.pause_slack_fraction,
+        },
+        "faults": {
+            "node_fail_probability": result.faults.node_fail_probability,
+            "link_fail_probability": result.faults.link_fail_probability,
+            "period_s": result.faults.period_s,
+        },
+        "recover_only": _mode(result.recover_only),
+        "proactive": _mode(result.proactive),
     }
 
 

@@ -34,6 +34,7 @@ from repro.core.composer import Composer, CompositionContext
 from repro.core.optimal import OptimalComposer
 from repro.core.tuning import ProbingRatioTuner
 from repro.experiments.config import RunSpec
+from repro.middleware.migration import LiveSessionMigrationManager
 from repro.observability import Recorder
 from repro.simulation.failures import FailureInjector, install_control_plane_faults
 from repro.simulation.metrics import SimulationReport
@@ -117,6 +118,16 @@ def build_simulator(
             system.global_state,
             seed=spec.workload_seed + 41,
         )
+    # live migration: the planner's candidate sampling draws from its own
+    # seed slot (+46), and a zero plan builds no manager at all, leaving
+    # the run byte-identical to a migration-free spec
+    live_migration = None
+    if spec.migration is not None and not spec.migration.is_zero:
+        live_migration = LiveSessionMigrationManager(
+            context,
+            spec.migration,
+            rng=random.Random(spec.workload_seed + 46),
+        )
     return StreamProcessingSimulator(
         system,
         composer,
@@ -126,6 +137,7 @@ def build_simulator(
         failures=failures,
         recorder=recorder,
         recovery=spec.recovery,
+        live_migration=live_migration,
     )
 
 

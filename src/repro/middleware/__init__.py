@@ -1,5 +1,12 @@
 """Session-oriented middleware: the paper's Find/Process/Close interface."""
 
+from repro.middleware.migration import (
+    HotspotDetector,
+    LiveMigrationPolicy,
+    LiveSessionMigrationManager,
+    MigrationPlan,
+    SessionMigrationRecord,
+)
 from repro.middleware.session import (
     ProcessingResult,
     RecoveryPolicy,
@@ -16,4 +23,9 @@ __all__ = [
     "SessionError",
     "ProcessingResult",
     "RecoveryPolicy",
+    "HotspotDetector",
+    "LiveMigrationPolicy",
+    "LiveSessionMigrationManager",
+    "MigrationPlan",
+    "SessionMigrationRecord",
 ]

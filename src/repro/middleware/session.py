@@ -39,6 +39,8 @@ class SessionState(enum.Enum):
     PROCESSING = "processing"
     #: disrupted by a fault; awaiting re-composition against live topology
     RECOVERING = "recovering"
+    #: stream paused while accumulated state transfers to a new placement
+    MIGRATING = "migrating"
     CLOSED = "closed"
     FAILED = "failed"
 
@@ -103,6 +105,10 @@ class StreamSession:
     recovering_since: Optional[float] = None
     #: completed fault recoveries over the session's lifetime
     recoveries: int = 0
+    #: simulated time the paused stream resumes (None unless MIGRATING)
+    migrating_until: Optional[float] = None
+    #: completed live migrations over the session's lifetime
+    migrations: int = 0
 
 
 class SessionManager:
@@ -137,6 +143,11 @@ class SessionManager:
         self.recovery_probe_messages = 0
         #: summed disruption->re-admission latency of recovered sessions
         self.recovery_latency_total_s = 0.0
+        #: live migrations committed (stream resumed on the new placement)
+        self.sessions_migrated = 0
+        #: live migrations rolled back at admission (the target filled up
+        #: between planning and execution)
+        self.migrations_rolled_back = 0
 
     # -- Find --------------------------------------------------------------
 
@@ -229,14 +240,17 @@ class SessionManager:
 
     def close(self, session_id: int) -> None:
         """Tear down the session and delete its record."""
-        session = self._get_open(session_id)
+        self._close(self._get_open(session_id))
+
+    def _close(self, session: StreamSession) -> None:
         self.allocator.release(session.allocation)
         session.state = SessionState.CLOSED
-        del self._sessions[session_id]
+        session.migrating_until = None
+        del self._sessions[session.session_id]
         if self.recorder.enabled:
             self.recorder.emit(
                 "session.close",
-                session_id=session_id,
+                session_id=session.session_id,
                 lifetime_s=self.clock() - session.created_at,
             )
 
@@ -259,7 +273,10 @@ class SessionManager:
         The simulator's scheduled end-of-session events use this: the
         session may be gone (crash-killed), open (normal close), or
         ``RECOVERING`` — in which case its lifetime ended before recovery
-        completed, so it is abandoned and counted as a kill.  Returns True
+        completed, so it is abandoned and counted as a kill.  A
+        ``MIGRATING`` session whose lifetime expires mid-transfer still
+        holds (exactly one set of) resources, so it is closed normally;
+        the pending commit then finds no record and no-ops.  Returns True
         if a session record was removed.
         """
         session = self._sessions.get(session_id)
@@ -268,7 +285,7 @@ class SessionManager:
         if session.state is SessionState.RECOVERING:
             self._kill_recovering(session, "expired_while_recovering")
             return True
-        self.close(session_id)
+        self._close(session)
         return True
 
     # -- failure handling ---------------------------------------------------
@@ -283,6 +300,9 @@ class SessionManager:
         they enter ``RECOVERING`` and await :meth:`recover_pending`.
         Sessions already recovering hold no resources and are skipped (the
         double-disruption race: a second fault cannot kill a session twice).
+        ``MIGRATING`` sessions *do* hold resources (the new placement was
+        committed when the transfer began) and are disrupted like any
+        other; their pending migration commit then no-ops.
         Returns the number of sessions disrupted.
         """
         doomed = [
@@ -313,6 +333,10 @@ class SessionManager:
         for session in doomed:
             self.allocator.release(session.allocation)
             self.sessions_disrupted += 1
+            # a fault mid-migration supersedes the transfer: the one live
+            # allocation was just released, so the session must land in
+            # exactly one of RECOVERING / killed
+            session.migrating_until = None
             if recovering:
                 session.state = SessionState.RECOVERING
                 session.recovering_since = now
@@ -396,6 +420,85 @@ class SessionManager:
                 reason=reason,
             )
 
+    # -- live migration ------------------------------------------------------
+
+    def sessions_using_node(self, node_id: int) -> Tuple[StreamSession, ...]:
+        """Active (COMPOSED/PROCESSING) sessions holding resources on
+        ``node_id``, in session-id order — the victim pool live migration
+        plans over.  Sessions already migrating or recovering are excluded:
+        one in-flight transition per session at a time."""
+        return tuple(
+            session
+            for session in sorted(
+                self._sessions.values(), key=lambda s: s.session_id
+            )
+            if session.state
+            in (SessionState.COMPOSED, SessionState.PROCESSING)
+            and node_id in session.allocation.node_demands
+        )
+
+    def begin_migration(
+        self, session_id: int, composition: ComponentGraph, pause_s: float
+    ) -> bool:
+        """Atomically swap the session onto ``composition`` and pause it.
+
+        The old allocation is released and the new one committed in one
+        step (safe in the single-threaded simulator); on an admission race
+        — the target filled up between planning and execution — the old
+        footprint is re-admitted (it just freed exactly those resources,
+        so the rollback cannot fail) and False is returned.  On success
+        the session enters ``MIGRATING`` until the caller commits it via
+        :meth:`complete_migration` after ``pause_s`` of state transfer.
+        """
+        if pause_s < 0.0:
+            raise ValueError(f"pause_s must be non-negative, got {pause_s}")
+        session = self._get_open(session_id)
+        old_composition = session.composition
+        self.allocator.release(session.allocation)
+        try:
+            allocation = self.allocator.commit(composition)
+        except AdmissionError:
+            session.allocation = self.allocator.commit(old_composition)
+            self.migrations_rolled_back += 1
+            if self.recorder.enabled:
+                self.recorder.emit(
+                    "migration.abort",
+                    session_id=session_id,
+                    reason="admission_race",
+                )
+            return False
+        session.composition = composition
+        session.allocation = allocation
+        session.state = SessionState.MIGRATING
+        session.migrating_until = self.clock() + pause_s
+        if self.recorder.enabled:
+            self.recorder.emit(
+                "migration.start",
+                session_id=session_id,
+                pause_s=pause_s,
+            )
+        return True
+
+    def complete_migration(self, session_id: int) -> bool:
+        """Resume a ``MIGRATING`` session on its new placement.
+
+        No-ops (returning False) when the session is gone or no longer
+        migrating — its lifetime expired mid-transfer, or a fault
+        disrupted it and recovery took over.  Either way the session's
+        single live allocation was already handled exactly once.
+        """
+        session = self._sessions.get(session_id)
+        if session is None or session.state is not SessionState.MIGRATING:
+            return False
+        session.state = SessionState.COMPOSED
+        session.migrating_until = None
+        session.migrations += 1
+        self.sessions_migrated += 1
+        if self.recorder.enabled:
+            self.recorder.emit("migration.commit", session_id=session_id)
+            self.recorder.inc("migration.sessions")
+        return True
+
     # -- introspection -----------------------------------------------------------
 
     def session(self, session_id: int) -> StreamSession:
@@ -415,6 +518,15 @@ class SessionManager:
         )
 
     @property
+    def migrating_count(self) -> int:
+        """Sessions currently paused for a state transfer."""
+        return sum(
+            1
+            for session in self._sessions.values()
+            if session.state is SessionState.MIGRATING
+        )
+
+    @property
     def mean_recovery_latency_s(self) -> float:
         """Mean disruption-to-readmission latency of recovered sessions."""
         if self.sessions_recovered == 0:
@@ -429,5 +541,10 @@ class SessionManager:
             raise SessionError(
                 f"session {session_id} is recovering from a failure; "
                 "it cannot be used until re-composition completes"
+            )
+        if session.state is SessionState.MIGRATING:
+            raise SessionError(
+                f"session {session_id} is migrating; its stream is paused "
+                "until the state transfer commits"
             )
         return session

@@ -30,6 +30,7 @@ from repro.discovery.registry import ComponentRegistry
 from repro.model.component import Component
 from repro.model.node import Node
 from repro.model.qos_model import LoadDependentQoSModel
+from repro.observability import NULL_RECORDER, Recorder
 from repro.topology.overlay import OverlayNetwork
 
 
@@ -83,6 +84,7 @@ class ComponentMigrationManager:
         registry: ComponentRegistry,
         policy: MigrationPolicy = MigrationPolicy(),
         period_s: float = 120.0,
+        recorder: Recorder = NULL_RECORDER,
     ) -> None:
         if period_s <= 0.0:
             raise ValueError(f"period must be positive, got {period_s}")
@@ -90,6 +92,7 @@ class ComponentMigrationManager:
         self.registry = registry
         self.policy = policy
         self.period_s = period_s
+        self.recorder = recorder
         self._records: List[MigrationRecord] = []
         #: control messages spent (2 per migration)
         self.migration_messages = 0
@@ -111,21 +114,31 @@ class ComponentMigrationManager:
         diversity; a node's *only* instance of a function in the whole
         system is never moved away from a hot node pre-emptively (it would
         just heat another node without helping the hot one's pool).
+
+        Tie-breaking is explicit — ordered by ``(coverage, component_id)``,
+        highest coverage then lowest id — so the choice is a pure function
+        of system state, stable under any hosting-list ordering.
         """
         best: Optional[Component] = None
-        best_coverage = 1  # require at least one other instance elsewhere
+        best_key = (1, 0)  # require at least one other instance elsewhere
         for component in node.components:
             coverage = self.registry.candidate_count(component.function)
-            if coverage > best_coverage:
+            key = (coverage, -component.component_id)
+            if coverage > 1 and (best is None or key > best_key):
                 best = component
-                best_coverage = coverage
+                best_key = key
         return best
 
     def _pick_target(self, component: Component) -> Optional[int]:
         """Least-loaded node below the low watermark not already providing
-        the component's function."""
+        the component's function.
+
+        Tie-breaking is explicit — ordered by ``(load, node_id)``, lowest
+        load then lowest id — so equal-load candidates resolve the same way
+        regardless of node-list ordering.
+        """
         best_node: Optional[int] = None
-        best_load = self.policy.low_watermark
+        best_key = (self.policy.low_watermark, -1)
         for node in self.network.nodes:
             if node.node_id == component.node_id:
                 continue
@@ -134,9 +147,11 @@ class ComponentMigrationManager:
                 for hosted in node.components
             ):
                 continue
-            load = _utilization(node)
-            if load < best_load:
-                best_load = load
+            key = (_utilization(node), node.node_id)
+            if key[0] < self.policy.low_watermark and (
+                best_node is None or key < best_key
+            ):
+                best_key = key
                 best_node = node.node_id
         return best_node
 
@@ -145,8 +160,7 @@ class ComponentMigrationManager:
         hot_nodes = sorted(
             (node for node in self.network.nodes
              if _utilization(node) > self.policy.high_watermark),
-            key=_utilization,
-            reverse=True,
+            key=lambda node: (-_utilization(node), node.node_id),
         )
         performed: List[MigrationRecord] = []
         for node in hot_nodes:
@@ -172,6 +186,16 @@ class ComponentMigrationManager:
         self.registry.replace(moved)
         target.host(moved)
         self.migration_messages += 2  # deregister + register
+        if self.recorder.enabled:
+            self.recorder.emit(
+                "migration.instance",
+                time=now,
+                component_id=component.component_id,
+                function=component.function.name,
+                from_node=source.node_id,
+                to_node=target_node_id,
+            )
+            self.recorder.inc("migration.instances")
         return MigrationRecord(
             time=now,
             component_id=component.component_id,

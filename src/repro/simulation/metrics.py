@@ -137,6 +137,16 @@ class SimulationReport:
     peak_open_sessions: int = 0
     #: max transient-reservation gauge observed at any window close
     peak_transient_reservations: int = 0
+    # live-migration accounting (all zero when no migration plan runs)
+    #: sessions successfully moved off a hot node
+    sessions_migrated: int = 0
+    #: planned migrations rejected because the state-transfer pause would
+    #: blow the session's remaining QoS slack (the graceful-degradation path)
+    migrations_aborted_on_slack: int = 0
+    #: total stream-paused time spent on committed state transfers
+    migration_paused_stream_s: float = 0.0
+    #: probe messages spent evaluating candidate placements for migration
+    migration_probe_messages: int = 0
 
     @property
     def session_survival_rate(self) -> float:
@@ -203,6 +213,15 @@ class MetricsCollector:
     @property
     def records(self) -> Tuple[RequestRecord, ...]:
         return tuple(self._records)
+
+    @property
+    def latest_admission_pressure(self) -> float:
+        """Admission pressure of the most recently closed window (0.0
+        before the first window closes) — the hotspot detector's signal
+        that rejections are load-driven, not infeasibility."""
+        if not self._samples:
+            return 0.0
+        return self._samples[-1].admission_pressure
 
     # -- windowed sampling -------------------------------------------------------
 
@@ -302,6 +321,10 @@ class MetricsCollector:
         mean_recovery_latency_s: float = 0.0,
         state_updates_lost: int = 0,
         probe_messages_lost: int = 0,
+        sessions_migrated: int = 0,
+        migrations_aborted_on_slack: int = 0,
+        migration_paused_stream_s: float = 0.0,
+        migration_probe_messages: int = 0,
     ) -> SimulationReport:
         phis = [r.phi for r in self._records if r.success and r.phi is not None]
         latencies = [
@@ -334,6 +357,10 @@ class MetricsCollector:
             mean_recovery_latency_s=mean_recovery_latency_s,
             state_updates_lost=state_updates_lost,
             probe_messages_lost=probe_messages_lost,
+            sessions_migrated=sessions_migrated,
+            migrations_aborted_on_slack=migrations_aborted_on_slack,
+            migration_paused_stream_s=migration_paused_stream_s,
+            migration_probe_messages=migration_probe_messages,
             p50_setup_latency_ms=percentile(latencies, 0.50),
             p99_setup_latency_ms=percentile(latencies, 0.99),
             admission_pressure=(

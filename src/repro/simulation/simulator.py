@@ -22,6 +22,7 @@ from typing import Optional
 from repro.core.acp import ACPComposer
 from repro.core.composer import Composer
 from repro.core.tuning import ProbingRatioTuner
+from repro.middleware.migration import LiveSessionMigrationManager
 from repro.middleware.session import RecoveryPolicy, SessionManager
 from repro.observability import NULL_RECORDER, Recorder
 from repro.placement.migration import ComponentMigrationManager
@@ -46,6 +47,7 @@ class StreamProcessingSimulator:
         failures: Optional[FailureInjector] = None,
         recorder: Optional[Recorder] = None,
         recovery: Optional[RecoveryPolicy] = None,
+        live_migration: Optional[LiveSessionMigrationManager] = None,
     ) -> None:
         if sampling_period_s <= 0.0:
             raise ValueError(f"sampling period must be positive: {sampling_period_s}")
@@ -57,6 +59,7 @@ class StreamProcessingSimulator:
         self.migration = migration
         self.failures = failures
         self.recovery = recovery
+        self.live_migration = live_migration
         self._recovery_sweep_pending = False
         if tuner is not None:
             if not isinstance(composer, ACPComposer):
@@ -81,6 +84,13 @@ class StreamProcessingSimulator:
             tuner.recorder = self.recorder
         if failures is not None and failures.recorder is NULL_RECORDER:
             failures.recorder = self.recorder
+        if migration is not None and migration.recorder is NULL_RECORDER:
+            # repro-lint: disable=SHR404 -- observability wiring hub (above)
+            migration.recorder = self.recorder
+        if live_migration is not None and live_migration.recorder is NULL_RECORDER:
+            # repro-lint: disable=SHR404 -- observability wiring hub (above)
+            live_migration.recorder = self.recorder
+            live_migration.detector.recorder = self.recorder
 
         self.metrics = MetricsCollector(recorder=self.recorder)
         self._pending_arrival = None
@@ -91,6 +101,8 @@ class StreamProcessingSimulator:
             recorder=self.recorder,
             recovery=recovery,
         )
+        if live_migration is not None:
+            live_migration.bind_sessions(self.sessions)
         # composers read the simulated clock for reservation deadlines
         composer.context.clock = lambda: self.scheduler.now
 
@@ -167,6 +179,24 @@ class StreamProcessingSimulator:
         if self.migration is not None:
             self.migration.run_round(now=self.scheduler.now)
 
+    def _on_rebalance_round(self) -> None:
+        """One live-migration round: the manager starts state transfers,
+        the simulator schedules each one's commit ``pause_s`` later."""
+        if self.live_migration is None:
+            return
+        now = self.scheduler.now
+        started = self.live_migration.run_round(
+            now, admission_pressure=self.metrics.latest_admission_pressure
+        )
+        for record in started:
+            self.scheduler.schedule_after(
+                record.pause_s,
+                lambda sid=record.session_id: self.sessions.complete_migration(
+                    sid
+                ),
+                name=f"migrate#{record.session_id}",
+            )
+
     def _on_failure_round(self) -> None:
         if self.failures is not None:
             self.failures.run_round(
@@ -235,6 +265,13 @@ class StreamProcessingSimulator:
             migrating = self.scheduler.schedule_periodic(
                 self.migration.period_s, self._on_migration_round, name="migration"
             )
+        rebalancing = None
+        if self.live_migration is not None:
+            rebalancing = self.scheduler.schedule_periodic(
+                self.live_migration.period_s,
+                self._on_rebalance_round,
+                name="rebalance",
+            )
         failing = None
         if self.failures is not None:
             failing = self.scheduler.schedule_periodic(
@@ -245,6 +282,8 @@ class StreamProcessingSimulator:
         aggregating.cancel()
         if migrating is not None:
             migrating.cancel()
+        if rebalancing is not None:
+            rebalancing.cancel()
         if failing is not None:
             failing.cancel()
         if self._pending_arrival is not None:
@@ -267,6 +306,22 @@ class StreamProcessingSimulator:
             mean_recovery_latency_s=self.sessions.mean_recovery_latency_s,
             state_updates_lost=state.total_updates_lost - state_lost_before,
             probe_messages_lost=control.messages_lost - probes_lost_before,
+            sessions_migrated=self.sessions.sessions_migrated,
+            migrations_aborted_on_slack=(
+                self.live_migration.migrations_aborted_on_slack
+                if self.live_migration is not None
+                else 0
+            ),
+            migration_paused_stream_s=(
+                self.live_migration.migration_paused_stream_s
+                if self.live_migration is not None
+                else 0.0
+            ),
+            migration_probe_messages=(
+                self.live_migration.migration_probe_messages
+                if self.live_migration is not None
+                else 0
+            ),
         )
         if self.recorder.enabled:
             self.recorder.emit(

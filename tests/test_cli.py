@@ -36,6 +36,24 @@ class TestParser:
         args = build_parser().parse_args(["fig7", "--counts", "200,400"])
         assert args.counts == [200, 400]
 
+    def test_migrate_knobs(self):
+        from repro.experiments import DEFAULT_MIGRATION_PLAN
+
+        args = build_parser().parse_args(
+            ["migrate", "--load", "1.5", "--spike-peak", "6",
+             "--sustain", "4", "--round-cap", "2"]
+        )
+        assert args.load == 1.5
+        assert args.spike_peak == 6.0
+        assert args.sustain == 4
+        assert args.round_cap == 2
+        # unset knobs default to the experiment plan's policy
+        defaults = build_parser().parse_args(["migrate"])
+        policy = DEFAULT_MIGRATION_PLAN.policy
+        assert defaults.high_watermark == policy.high_watermark
+        assert defaults.sustain == policy.sustain_rounds
+        assert defaults.round_cap == policy.max_session_migrations_per_round
+
 
 class TestCommands:
     def test_compare_prints_summary(self, capsys):

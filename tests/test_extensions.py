@@ -283,3 +283,96 @@ class TestMigration:
                     system.registry.component(component.component_id)
                     is component
                 )
+
+    def test_instance_migration_is_traced(self, loaded_system):
+        """Satellite of the live-migration PR: the instance-migration path
+        emits guarded ``migration.instance`` events and a counter, so
+        ``repro-experiments trace`` sees rebalancing."""
+        from repro.observability import TraceRecorder
+
+        system, hot = loaded_system
+        recorder = TraceRecorder()
+        manager = ComponentMigrationManager(
+            system.network, system.registry, recorder=recorder
+        )
+        records = manager.run_round(now=50.0)
+        assert len(records) >= 1
+        events = recorder.events_of("migration.instance")
+        assert len(events) == len(records)
+        assert events[0].fields["from_node"] == hot.node_id
+        assert events[0].fields["component_id"] == records[0].component_id
+        assert (
+            recorder.registry.counter("migration.instances").value
+            == len(records)
+        )
+
+
+class TestMigrationTieBreaks:
+    """Satellite of the live-migration PR: shed/target selection must be a
+    pure function of system state — ordered by ``(coverage, component_id)``
+    and ``(load, node_id)`` — not of node/hosting scan order."""
+
+    def _build(self, host_order):
+        from repro.discovery.registry import ComponentRegistry
+        from repro.model.functions import FunctionCatalog
+        from repro.model.node import Node
+        from repro.topology.overlay import OverlayLink, OverlayNetwork
+
+        catalog = FunctionCatalog(size=4, num_formats=2)
+        fn_a, fn_b = catalog[0], catalog[1]
+        network = OverlayNetwork(
+            [
+                Node(node_id, router_id=node_id, capacity=rv(100, 1000))
+                for node_id in range(4)
+            ],
+            [
+                OverlayLink(i, i, i + 1, delay_ms=10.0, loss_rate=0.001,
+                            capacity_kbps=10_000.0)
+                for i in range(3)
+            ],
+        )
+        # node 0: one instance of each function; fn B is better covered
+        # (3 instances) than fn A (2), and its node-0 instance has the
+        # smallest component id hosted there
+        components = {
+            5: make_component(5, fn_a, 0),
+            3: make_component(3, fn_b, 0),
+            7: make_component(7, fn_a, 3),
+            9: make_component(9, fn_b, 3),
+            11: make_component(11, fn_b, 3),
+        }
+        registry = ComponentRegistry()
+        for component_id in host_order:
+            component = components[component_id]
+            network.node(component.node_id).host(component)
+            registry.register(component)
+        # drive node 0 hot; nodes 1 and 2 stay idle at identical load
+        hot = network.node(0)
+        hot.allocate(hot.capacity.scaled(0.9))
+        return network, registry
+
+    @pytest.mark.parametrize(
+        "host_order", [(5, 3, 7, 9, 11), (11, 9, 7, 3, 5), (3, 7, 11, 5, 9)]
+    )
+    def test_selection_is_hosting_order_independent(self, host_order):
+        network, registry = self._build(host_order)
+        manager = ComponentMigrationManager(network, registry)
+        records = manager.run_round(now=0.0)
+        assert len(records) == 1
+        record = records[0]
+        # shed: fn B wins on coverage (3 > 2); its hosted instance is c3
+        assert record.component_id == 3
+        # target: nodes 1 and 2 tie at zero load — the smaller id wins
+        assert record.from_node == 0
+        assert record.to_node == 1
+
+    def test_shed_coverage_tie_breaks_on_component_id(self):
+        network, registry = self._build((5, 3, 7, 9, 11))
+        # give fn A a third instance so both functions tie at coverage 3
+        extra = make_component(13, registry.component(5).function, 3)
+        network.node(3).host(extra)
+        registry.register(extra)
+        manager = ComponentMigrationManager(network, registry)
+        shed = manager._pick_component_to_shed(network.node(0))
+        assert shed is not None
+        assert shed.component_id == 3  # min id among equal-coverage picks

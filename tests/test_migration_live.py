@@ -1,0 +1,527 @@
+"""Unit tests for hotspot-driven live session migration.
+
+Covers the three tentpole pieces — the sustained-hotspot detector, the
+cost-priced planner/executor, and the session-state machinery
+(``MIGRATING`` begin/commit/rollback) — plus the interleaving edges the
+recovery sweep shares with migration rounds: a fault or lifetime expiry
+mid-transfer must land the session in exactly one terminal path with no
+double-release of allocations.
+"""
+
+import random
+
+import pytest
+
+from repro.core.acp import ACPComposer
+from repro.middleware.migration import (
+    HotspotDetector,
+    LiveMigrationPolicy,
+    LiveSessionMigrationManager,
+    MigrationPlan,
+)
+from repro.middleware.session import (
+    RecoveryPolicy,
+    SessionError,
+    SessionManager,
+    SessionState,
+)
+from repro.observability import TraceRecorder
+
+
+@pytest.fixture
+def clock():
+    """A mutable simulated clock the tests advance by hand."""
+    return {"now": 0.0}
+
+
+@pytest.fixture
+def manager(micro_context, clock):
+    composer = ACPComposer(micro_context, probing_ratio=1.0)
+    return SessionManager(
+        composer, micro_context.allocator, clock=lambda: clock["now"]
+    )
+
+
+@pytest.fixture
+def recovering_manager(micro_context, clock):
+    composer = ACPComposer(micro_context, probing_ratio=1.0)
+    return SessionManager(
+        composer,
+        micro_context.allocator,
+        clock=lambda: clock["now"],
+        recovery=RecoveryPolicy(recovery_deadline_s=30.0, detection_delay_s=2.0),
+    )
+
+
+def _small_config():
+    """A seeded end-to-end system small enough for spec-level tests."""
+    from repro.discovery.deployment import DeploymentProfile
+    from repro.simulation.system import SystemConfig
+
+    return SystemConfig(
+        num_routers=60,
+        num_nodes=12,
+        neighbors_per_node=3,
+        catalog_size=10,
+        num_templates=6,
+        template_path_length=(2, 3),
+        deployment=DeploymentProfile(components_per_node=(1, 3)),
+        seed=5,
+    )
+
+
+def _live_manager(micro_context, sessions, policy=None, seed=3):
+    plan = MigrationPlan(policy=policy or LiveMigrationPolicy())
+    live = LiveSessionMigrationManager(
+        micro_context, plan, rng=random.Random(seed)
+    )
+    live.bind_sessions(sessions)
+    return live
+
+
+def _f1_node(manager, session_id):
+    """The node hosting the session's second placement (function F1)."""
+    return manager.session(session_id).composition.component(1).node_id
+
+
+def _heat(network, node_id, fraction=0.9):
+    node = network.node(node_id)
+    node.allocate(node.capacity.scaled(fraction))
+
+
+class TestPolicyValidation:
+    def test_defaults_valid(self):
+        LiveMigrationPolicy()
+
+    @pytest.mark.parametrize(
+        "kwargs, match",
+        [
+            (dict(ewma_alpha=0.0), "ewma_alpha"),
+            (dict(ewma_alpha=1.5), "ewma_alpha"),
+            (dict(high_watermark=0.4, low_watermark=0.5), "watermark"),
+            (dict(sustain_rounds=0), "sustain_rounds"),
+            (dict(min_admission_pressure=1.5), "min_admission_pressure"),
+            (
+                dict(max_session_migrations_per_round=-1),
+                "max_session_migrations_per_round",
+            ),
+            (dict(candidate_sample=0), "candidate_sample"),
+            (dict(state_kb_per_unit=-0.1), "state_kb_per_unit"),
+            (dict(transfer_kbps=0.0), "transfer_kbps"),
+            (dict(pause_slack_fraction=0.0), "pause_slack_fraction"),
+        ],
+    )
+    def test_rejects_bad_knobs(self, kwargs, match):
+        with pytest.raises(ValueError, match=match):
+            LiveMigrationPolicy(**kwargs)
+
+    def test_zero_plan(self):
+        plan = MigrationPlan.none()
+        assert plan.is_zero
+        assert not MigrationPlan().is_zero
+        with pytest.raises(ValueError, match="period_s"):
+            MigrationPlan(period_s=0.0)
+
+
+class TestHotspotDetector:
+    def _nodes(self, micro_network, loads):
+        for node_id, fraction in loads.items():
+            _heat(micro_network, node_id, fraction)
+        return micro_network.nodes
+
+    def test_first_observation_seeds_ewma(self, micro_network):
+        detector = HotspotDetector(LiveMigrationPolicy())
+        detector.observe(self._nodes(micro_network, {0: 0.8}))
+        assert detector.ewma(0) == pytest.approx(0.8)
+        assert detector.ewma(1) == pytest.approx(0.0)
+
+    def test_ewma_smooths_spikes(self, micro_network):
+        policy = LiveMigrationPolicy(ewma_alpha=0.3, sustain_rounds=1)
+        detector = HotspotDetector(policy)
+        nodes = micro_network.nodes
+        detector.observe(nodes)  # all idle: ewma 0
+        _heat(micro_network, 0, 0.9)
+        detector.observe(nodes)
+        # one spike moves the ewma only alpha of the way
+        assert detector.ewma(0) == pytest.approx(0.3 * 0.9)
+        assert detector.hot_nodes() == []
+
+    def test_sustained_hotspot_flags_after_k_rounds(self, micro_network):
+        policy = LiveMigrationPolicy(sustain_rounds=3)
+        detector = HotspotDetector(policy)
+        nodes = self._nodes(micro_network, {0: 0.9})
+        for round_index in range(3):
+            assert detector.hot_nodes() == []
+            detector.observe(nodes)
+        assert detector.hot_nodes() == [0]
+
+    def test_cooling_resets_streak(self, micro_network):
+        policy = LiveMigrationPolicy(ewma_alpha=1.0, sustain_rounds=2)
+        detector = HotspotDetector(policy)
+        nodes = micro_network.nodes
+        _heat(micro_network, 0, 0.9)
+        detector.observe(nodes)
+        # load drains: the streak must reset, not pause
+        node = micro_network.node(0)
+        node.release(node.capacity.scaled(0.9))
+        detector.observe(nodes)
+        _heat(micro_network, 0, 0.9)
+        detector.observe(nodes)
+        assert detector.hot_nodes() == []
+
+    def test_pressure_gate_stalls_streaks(self, micro_network):
+        policy = LiveMigrationPolicy(
+            sustain_rounds=2, min_admission_pressure=0.2
+        )
+        detector = HotspotDetector(policy)
+        nodes = self._nodes(micro_network, {0: 0.9})
+        detector.observe(nodes, admission_pressure=0.5)
+        # hot but unpressured: the streak neither grows nor resets
+        detector.observe(nodes, admission_pressure=0.0)
+        assert detector.hot_nodes() == []
+        detector.observe(nodes, admission_pressure=0.5)
+        assert detector.hot_nodes() == [0]
+
+    def test_dead_node_forgets_state(self, micro_network):
+        policy = LiveMigrationPolicy(ewma_alpha=1.0, sustain_rounds=1)
+        detector = HotspotDetector(policy)
+        nodes = self._nodes(micro_network, {0: 0.9})
+        detector.observe(nodes)
+        assert detector.hot_nodes() == [0]
+        micro_network.node(0).fail()
+        detector.observe(nodes)
+        assert detector.hot_nodes() == []
+        assert detector.ewma(0) == pytest.approx(0.0)
+
+    def test_hot_nodes_ordered_hottest_first(self, micro_network):
+        policy = LiveMigrationPolicy(ewma_alpha=1.0, sustain_rounds=1)
+        detector = HotspotDetector(policy)
+        nodes = self._nodes(micro_network, {0: 0.8, 2: 0.95})
+        detector.observe(nodes)
+        assert detector.hot_nodes() == [2, 0]
+
+    def test_is_cool(self, micro_network):
+        policy = LiveMigrationPolicy(ewma_alpha=1.0, sustain_rounds=1)
+        detector = HotspotDetector(policy)
+        detector.observe(self._nodes(micro_network, {0: 0.9, 1: 0.5}))
+        assert not detector.is_cool(0)
+        assert not detector.is_cool(1)  # above the 0.45 low watermark
+        assert detector.is_cool(2)
+
+
+class TestSessionMigrationStates:
+    def test_begin_and_complete_migration(
+        self, manager, micro_context, micro_request, clock
+    ):
+        session_id, outcome = manager.find(micro_request)
+        composition = outcome.composition
+        clock["now"] = 10.0
+        assert manager.begin_migration(session_id, composition, 2.0)
+        session = manager._sessions[session_id]
+        assert session.state is SessionState.MIGRATING
+        assert session.migrating_until == pytest.approx(12.0)
+        assert manager.migrating_count == 1
+        # the paused stream rejects every session operation
+        with pytest.raises(SessionError, match="migrating"):
+            manager.process(session_id, 1.0)
+        with pytest.raises(SessionError, match="migrating"):
+            manager.close(session_id)
+        assert manager.complete_migration(session_id)
+        session = manager.session(session_id)
+        assert session.state is SessionState.COMPOSED
+        assert session.migrating_until is None
+        assert session.migrations == 1
+        assert manager.sessions_migrated == 1
+        # fully usable again
+        assert manager.process(session_id, 10.0).units_out > 0.0
+
+    def test_negative_pause_rejected(self, manager, micro_request):
+        session_id, outcome = manager.find(micro_request)
+        with pytest.raises(ValueError, match="pause_s"):
+            manager.begin_migration(session_id, outcome.composition, -1.0)
+
+    def test_complete_is_idempotent(self, manager, micro_request):
+        session_id, outcome = manager.find(micro_request)
+        manager.begin_migration(session_id, outcome.composition, 1.0)
+        assert manager.complete_migration(session_id)
+        assert not manager.complete_migration(session_id)
+        assert manager.sessions_migrated == 1
+
+    def test_admission_race_rolls_back(
+        self, manager, micro_context, micro_request, monkeypatch
+    ):
+        from repro.allocation.allocator import AdmissionError
+
+        session_id, outcome = manager.find(micro_request)
+        before = [node.available for node in micro_context.network.nodes]
+        original_commit = manager.allocator.commit
+        calls = {"n": 0}
+
+        def racy_commit(composition):
+            calls["n"] += 1
+            if calls["n"] == 1:
+                raise AdmissionError("target filled up")
+            return original_commit(composition)
+
+        monkeypatch.setattr(manager.allocator, "commit", racy_commit)
+        assert not manager.begin_migration(session_id, outcome.composition, 1.0)
+        assert manager.migrations_rolled_back == 1
+        session = manager.session(session_id)
+        assert session.state is SessionState.COMPOSED
+        assert session.migrating_until is None
+        # the rollback re-admitted the exact old footprint
+        after = [node.available for node in micro_context.network.nodes]
+        assert before == after
+        assert manager.process(session_id, 5.0).units_out > 0.0
+
+    def test_fault_while_migrating_lands_in_recovering_once(
+        self, recovering_manager, micro_context, micro_request, clock
+    ):
+        """A disruption mid-transfer supersedes the migration: the session
+        lands in RECOVERING exactly once, all resources are released, and
+        the pending commit no-ops."""
+        session_id, outcome = recovering_manager.find(micro_request)
+        assert recovering_manager.begin_migration(
+            session_id, outcome.composition, 5.0
+        )
+        node_id = next(
+            iter(
+                recovering_manager._sessions[session_id].allocation.node_demands
+            )
+        )
+        assert recovering_manager.terminate_sessions_using_node(node_id) == 1
+        assert recovering_manager.recovering_count == 1
+        assert recovering_manager.migrating_count == 0
+        assert recovering_manager._sessions[session_id].migrating_until is None
+        # every allocation released exactly once
+        for node in micro_context.network.nodes:
+            assert all(abs(v) < 1e-9 for v in node.allocated.values)
+        # the scheduled commit arrives late and must no-op
+        assert not recovering_manager.complete_migration(session_id)
+        assert recovering_manager.sessions_migrated == 0
+        # recovery then re-admits it like any disrupted session
+        clock["now"] = 5.0
+        assert recovering_manager.recover_pending() == 1
+        assert (
+            recovering_manager.session(session_id).state
+            is SessionState.COMPOSED
+        )
+
+    def test_fault_while_migrating_without_policy_kills_once(
+        self, manager, micro_context, micro_request
+    ):
+        session_id, outcome = manager.find(micro_request)
+        manager.begin_migration(session_id, outcome.composition, 5.0)
+        node_id = next(
+            iter(manager._sessions[session_id].allocation.node_demands)
+        )
+        assert manager.terminate_sessions_using_node(node_id) == 1
+        assert manager.sessions_killed == 1
+        assert manager.active_session_count == 0
+        for node in micro_context.network.nodes:
+            assert all(abs(v) < 1e-9 for v in node.allocated.values)
+        assert not manager.complete_migration(session_id)
+
+    def test_lifetime_expiry_mid_migration_closes_cleanly(
+        self, manager, micro_context, micro_request
+    ):
+        """The deadline-expiry edge: a MIGRATING session whose lifetime
+        ends is closed normally (it holds exactly one set of resources);
+        the pending commit finds nothing."""
+        session_id, outcome = manager.find(micro_request)
+        manager.begin_migration(session_id, outcome.composition, 5.0)
+        assert manager.close_or_abandon(session_id) is True
+        assert manager.active_session_count == 0
+        assert manager.sessions_killed == 0
+        for node in micro_context.network.nodes:
+            assert all(abs(v) < 1e-9 for v in node.allocated.values)
+        assert not manager.complete_migration(session_id)
+        assert manager.sessions_migrated == 0
+
+
+class TestLiveMigrationManager:
+    def test_run_round_requires_bound_sessions(self, micro_context):
+        live = LiveSessionMigrationManager(
+            micro_context, MigrationPlan(), rng=random.Random(1)
+        )
+        with pytest.raises(RuntimeError, match="bind_sessions"):
+            live.run_round(0.0)
+
+    def test_migrates_victim_off_sustained_hot_node(
+        self, manager, micro_context, micro_request
+    ):
+        session_id, _ = manager.find(micro_request)
+        hot_node = _f1_node(manager, session_id)
+        twin_node = 3 - hot_node  # F1's other instance (node 1 or 2)
+        _heat(micro_context.network, hot_node)
+        policy = LiveMigrationPolicy(sustain_rounds=2)
+        live = _live_manager(micro_context, manager, policy)
+        assert live.run_round(0.0) == []  # streak 1 of 2
+        records = live.run_round(60.0)
+        assert len(records) == 1
+        record = records[0]
+        assert record.session_id == session_id
+        assert record.hot_node == hot_node
+        assert record.moved == ((1, hot_node, twin_node),)
+        assert record.pause_s > 0.0
+        assert live.migrations_started == 1
+        assert live.migration_paused_stream_s == pytest.approx(record.pause_s)
+        assert live.migration_probe_messages > 0
+        # the session is paused on its new placement until the commit
+        assert manager.migrating_count == 1
+        assert manager.complete_migration(session_id)
+        session = manager.session(session_id)
+        assert session.composition.component(1).node_id == twin_node
+
+    def test_zero_budget_never_migrates(
+        self, manager, micro_context, micro_request
+    ):
+        session_id, _ = manager.find(micro_request)
+        _heat(micro_context.network, _f1_node(manager, session_id))
+        live = _live_manager(
+            micro_context,
+            manager,
+            LiveMigrationPolicy(
+                sustain_rounds=1, max_session_migrations_per_round=0
+            ),
+        )
+        for round_index in range(3):
+            assert live.run_round(60.0 * round_index) == []
+        assert live.migrations_started == 0
+        assert manager.migrating_count == 0
+
+    def test_slack_abort_is_graceful(
+        self, manager, micro_context, micro_request, clock
+    ):
+        """A pause that would blow the QoS slack rejects the migration and
+        leaves the session untouched — the graceful-degradation path."""
+        session_id, _ = manager.find(micro_request)
+        hot_node = _f1_node(manager, session_id)
+        _heat(micro_context.network, hot_node)
+        clock["now"] = 600.0  # accumulated state: 100 units/s * 600 s
+        policy = LiveMigrationPolicy(sustain_rounds=1, state_kb_per_unit=10.0)
+        live = _live_manager(micro_context, manager, policy)
+        assert live.run_round(600.0) == []
+        assert live.migrations_aborted_on_slack == 1
+        assert live.migrations_started == 0
+        session = manager.session(session_id)
+        assert session.state is SessionState.COMPOSED
+        assert manager.process(session_id, 1.0).units_out > 0.0
+
+    def test_no_cool_target_skips(
+        self, manager, micro_context, micro_request
+    ):
+        session_id, _ = manager.find(micro_request)
+        hot_node = _f1_node(manager, session_id)
+        twin_node = 3 - hot_node
+        _heat(micro_context.network, hot_node)
+        micro_context.network.node(twin_node).fail()
+        live = _live_manager(
+            micro_context, manager, LiveMigrationPolicy(sustain_rounds=1)
+        )
+        assert live.run_round(0.0) == []
+        assert live.migrations_skipped_no_target == 1
+        assert manager.session(session_id).state is SessionState.COMPOSED
+
+    def test_trace_events_and_counters(
+        self, manager, micro_context, micro_request
+    ):
+        session_id, _ = manager.find(micro_request)
+        hot_node = _f1_node(manager, session_id)
+        _heat(micro_context.network, hot_node)
+        recorder = TraceRecorder()
+        manager.recorder = recorder
+        plan = MigrationPlan(policy=LiveMigrationPolicy(sustain_rounds=1))
+        live = LiveSessionMigrationManager(
+            micro_context, plan, rng=random.Random(3), recorder=recorder
+        )
+        live.detector.recorder = recorder
+        live.bind_sessions(manager)
+        records = live.run_round(0.0)
+        assert len(records) == 1
+        manager.complete_migration(session_id)
+        kinds = [event.kind for event in recorder.events]
+        assert "migration.plan" in kinds
+        assert "migration.start" in kinds
+        assert "migration.commit" in kinds
+        plan_event = recorder.events_of("migration.plan")[0]
+        assert plan_event.fields["hot_nodes"] == (hot_node,)
+        assert recorder.registry.counter("migration.transfers").value == 1
+        assert recorder.registry.counter("migration.sessions").value == 1
+
+    def test_zero_plan_run_is_byte_identical(self):
+        """``MigrationPlan.none()`` must be invisible: no manager is
+        built, no rng stream is drawn, and the report matches a
+        migration-free spec byte for byte (the unit-scale guard behind the
+        macro benchmark's replay contract)."""
+        from repro.experiments import RunSpec, run_spec
+        from repro.simulation.workload import RateSchedule
+
+        spec = RunSpec(
+            algorithm="ACP",
+            system=_small_config(),
+            schedule=RateSchedule.constant(10.0),
+            duration_s=600.0,
+            sampling_period_s=150.0,
+            workload_seed=1005,
+        )
+        plain = run_spec(spec)
+        zeroed = run_spec(spec.with_migration(MigrationPlan.none()))
+        assert repr(plain) == repr(zeroed)
+        assert plain.sessions_migrated == 0
+        assert plain.migrations_aborted_on_slack == 0
+        assert plain.migration_paused_stream_s == 0.0
+        assert plain.migration_probe_messages == 0
+
+    def test_active_plan_run_is_deterministic(self):
+        """Same seed + same plan ⇒ byte-identical migration reports."""
+        from repro.experiments import RunSpec, run_spec
+        from repro.simulation.workload import RateSchedule
+
+        spec = RunSpec(
+            algorithm="ACP",
+            system=_small_config(),
+            schedule=RateSchedule.constant(40.0),
+            duration_s=600.0,
+            sampling_period_s=150.0,
+            workload_seed=1005,
+        ).with_migration(
+            MigrationPlan(
+                policy=LiveMigrationPolicy(
+                    high_watermark=0.3, low_watermark=0.2, sustain_rounds=2
+                ),
+                period_s=30.0,
+            )
+        )
+        first = run_spec(spec)
+        second = run_spec(spec)
+        assert repr(first) == repr(second)
+
+    def test_same_seed_same_decisions(
+        self, micro_context, micro_request, clock
+    ):
+        """Two identically-seeded planners over identical state produce
+        identical migration records."""
+        moves = []
+        for attempt in range(2):
+            composer = ACPComposer(micro_context, probing_ratio=1.0)
+            manager = SessionManager(
+                composer, micro_context.allocator, clock=lambda: clock["now"]
+            )
+            session_id, _ = manager.find(micro_request)
+            hot_node = _f1_node(manager, session_id)
+            _heat(micro_context.network, hot_node)
+            live = _live_manager(
+                micro_context,
+                manager,
+                LiveMigrationPolicy(sustain_rounds=1),
+                seed=99,
+            )
+            records = live.run_round(0.0)
+            moves.append(tuple(r.moved for r in records))
+            # unwind for the second attempt
+            manager.complete_migration(session_id)
+            manager.close(session_id)
+            node = micro_context.network.node(hot_node)
+            node.release(node.capacity.scaled(0.9))
+        assert moves[0] == moves[1]
